@@ -1,0 +1,80 @@
+"""Shared fixtures and result recording for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints the paper-vs-measured rows, and writes them to
+``benchmarks/results/<name>.txt`` so the numbers survive pytest's
+output capturing. Heavy measurements that several benchmarks need
+(the Table 1 / Table 2 single-opportunity reliabilities) are computed
+once per session here.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.world.scenarios.human_tracking import (
+    TABLE4_CASES,
+    TABLE5_CASES,
+    run_human_redundancy_experiment,
+    run_table2_experiment,
+)
+from repro.world.scenarios.object_tracking import run_table1_experiment
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: Repetition counts for benchmarks: enough for stable shapes, small
+#: enough that the whole harness finishes in tens of minutes.
+BENCH_REPS_OBJECT = 8
+BENCH_REPS_HUMAN = 16
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def table1_rates():
+    """Measured Table 1 single-opportunity reliabilities (per face)."""
+    results = run_table1_experiment(repetitions=BENCH_REPS_OBJECT)
+    return {face: est.rate for face, est in results.items()}
+
+
+@pytest.fixture(scope="session")
+def table2_results():
+    """Measured Table 2 per-placement results (1 and 2 subjects)."""
+    return run_table2_experiment(repetitions=BENCH_REPS_HUMAN)
+
+
+@pytest.fixture(scope="session")
+def table2_rates(table2_results):
+    """Single-subject placement rates keyed like the paper's tables."""
+    return {
+        "front": table2_results["front"].one_subject.rate,
+        "back": table2_results["front"].one_subject.rate,
+        "side_closer": table2_results["side_closer"].one_subject.rate,
+        "side_farther": table2_results["side_farther"].one_subject.rate,
+    }
+
+
+@pytest.fixture(scope="session")
+def table4_outcomes(table2_rates):
+    """Human redundancy measurements with one antenna (Table 4)."""
+    return run_human_redundancy_experiment(
+        TABLE4_CASES, table2_rates, repetitions=BENCH_REPS_HUMAN
+    )
+
+
+@pytest.fixture(scope="session")
+def table5_outcomes(table2_rates):
+    """Human redundancy measurements with two antennas (Table 5)."""
+    return run_human_redundancy_experiment(
+        TABLE5_CASES, table2_rates, repetitions=BENCH_REPS_HUMAN
+    )

@@ -1,0 +1,100 @@
+"""Ablation: where do the missed reads come from?
+
+DESIGN.md separates two loss families:
+
+* **physical** — the link never closes (blocking, detuning, orientation,
+  fades), which no protocol change can fix;
+* **protocol/dwell** — the link closes but the inventory process runs
+  out of slots (collisions, short dwell).
+
+The ablation compares the calibrated stochastic channel against a
+"genie" channel with fading and shadowing disabled. With deterministic
+physics the portal reads essentially everything — demonstrating that
+the paper's reliability problem is physical, which is why it scopes out
+better anti-collision algorithms.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.calibration import PaperSetup, paper_link_environment
+from repro.core.experiment import run_trials
+from repro.rf.propagation import ChannelModel, RicianFading, ShadowingModel
+from repro.sim.rng import SeedSequence
+from repro.world.objects import BoxFace
+from repro.world.portal import single_antenna_portal
+from repro.world.scenarios.object_tracking import build_box_cart
+from repro.world.simulation import PortalPassSimulator
+
+from conftest import record_result
+
+REPETITIONS = 6
+
+
+def _reliability(env, clutter_sigma_db):
+    setup = PaperSetup()
+    sim = PortalPassSimulator(
+        portal=single_antenna_portal(), env=env, params=setup.params
+    )
+    carrier, _ = build_box_cart(
+        [BoxFace.FRONT], clutter_sigma_db=clutter_sigma_db
+    )
+    epcs = [t.epc for t in carrier.tags]
+    trials = run_trials(
+        "loss-sources",
+        lambda seeds, i: sim.run_pass([carrier], seeds, i),
+        REPETITIONS,
+    )
+    total = 0
+    for outcome in trials.outcomes:
+        total += outcome.tags_read(epcs)
+    return total / (len(epcs) * REPETITIONS)
+
+
+def _run():
+    calibrated_env = paper_link_environment()
+    genie_env = dataclasses.replace(
+        calibrated_env,
+        channel=ChannelModel(
+            path_loss=calibrated_env.channel.path_loss,
+            shadowing=ShadowingModel(sigma_db=0.0),
+            fading=RicianFading(k_factor_db=40.0),
+        ),
+    )
+    from repro.world.scenarios.object_tracking import (
+        BOX_CART_CLUTTER_SIGMA_DB,
+    )
+
+    return {
+        "calibrated (stochastic channel)": _reliability(
+            calibrated_env, BOX_CART_CLUTTER_SIGMA_DB
+        ),
+        "genie (deterministic channel)": _reliability(genie_env, 0.0),
+    }
+
+
+@pytest.mark.benchmark(group="ablation-loss")
+def test_ablation_loss_sources(benchmark):
+    rates = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Ablation — loss sources (front tags, 12 boxes, 1 antenna)",
+        headers=("Channel", "Tag read reliability"),
+    )
+    for name, rate in rates.items():
+        table.add_row(name, percent(rate))
+    record_result("ablation_loss_sources", table.render())
+
+    # With deterministic physics, protocol losses alone are negligible:
+    # the portal reads essentially all front tags.
+    assert rates["genie (deterministic channel)"] >= 0.97
+    # The calibrated channel reproduces the paper's physical misses.
+    assert rates["calibrated (stochastic channel)"] <= 0.95
+    # Therefore the gap — the paper's unreliability — is physical.
+    gap = (
+        rates["genie (deterministic channel)"]
+        - rates["calibrated (stochastic channel)"]
+    )
+    assert gap >= 0.05

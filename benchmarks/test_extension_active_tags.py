@@ -1,0 +1,87 @@
+"""Extension benchmark: active tags (the paper's stated future work).
+
+"Future extensions of this work involve experimenting with active
+tags" (Section 5). The paper also notes that "passive tags have a much
+weaker signal, a much shorter communication range, and thus much lower
+read reliability than battery-powered, active, RFID tags" — this
+benchmark quantifies that claim on identical workloads, plus the cost
+active tags pay: battery life vs beacon rate.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.calibration import PaperSetup
+from repro.core.experiment import run_trials
+from repro.core.reliability import tracking_success
+from repro.world.active_tags import ActiveTagModel, ActiveTagSimulator
+from repro.world.objects import BoxFace
+from repro.world.portal import single_antenna_portal
+from repro.world.scenarios.object_tracking import build_box_cart
+from repro.world.simulation import PortalPassSimulator
+
+from conftest import record_result
+
+REPETITIONS = 6
+
+
+def _run():
+    setup = PaperSetup()
+    passive_sim = PortalPassSimulator(
+        portal=single_antenna_portal(), env=setup.env, params=setup.params
+    )
+    active_sim = ActiveTagSimulator(passive_sim)
+
+    rows = {}
+    for name, sim in (("passive", passive_sim), ("active", active_sim)):
+        # The paper's hardest passive placement: top of a router box.
+        carrier, boxes = build_box_cart([BoxFace.TOP])
+        box_epcs = [[t.epc for t in b.all_tags()] for b in boxes]
+        trials = run_trials(
+            f"active-ext:{name}",
+            lambda seeds, i: sim.run_pass([carrier], seeds, i),
+            REPETITIONS,
+        )
+        hits = total = 0
+        for outcome in trials.outcomes:
+            for epcs in box_epcs:
+                total += 1
+                hits += tracking_success(outcome.read_epcs, epcs)
+        rows[name] = hits / total
+
+    battery = {
+        interval: ActiveTagModel(
+            beacon_interval_s=interval
+        ).battery_life_days()
+        for interval in (0.1, 0.5, 2.0, 10.0)
+    }
+    return rows, battery
+
+
+@pytest.mark.benchmark(group="ext-active")
+def test_extension_active_tags(benchmark):
+    rows, battery = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — active vs passive tags on the paper's worst "
+        "placement (top of router boxes)",
+        headers=("Technology", "Tracking reliability"),
+    )
+    table.add_row("passive (EPC Gen 2)", percent(rows["passive"]))
+    table.add_row("active (0 dBm beacons)", percent(rows["active"]))
+    lines = [table.render(), "", "Active-tag battery life vs beacon rate:"]
+    for interval, days in sorted(battery.items()):
+        lines.append(
+            f"  beacon every {interval:4.1f} s -> {days:7.0f} days "
+            f"({days / 365:.1f} years)"
+        )
+    record_result("extension_active_tags", "\n".join(lines))
+
+    # The paper's premise: active >> passive on hostile placements.
+    assert rows["passive"] <= 0.60
+    assert rows["active"] >= 0.95
+    # The cost: beacon rate eats battery monotonically.
+    lives = [battery[i] for i in sorted(battery)]
+    assert lives == sorted(lives)
+    # Even aggressive 10 Hz beaconing lasts a month-plus on one cell.
+    assert battery[0.1] >= 30.0

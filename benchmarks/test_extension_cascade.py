@@ -1,0 +1,116 @@
+"""Extension benchmark: cascaded macro tags vs identical-tag redundancy.
+
+The paper restricts itself to identical tags and cites cascaded
+tagging (Lindsay & Reade [10]) as the alternative. This extension
+compares the two analytically and structurally on the paper's own
+numbers: per-item marginal reliability, and the burstiness of losses —
+the cascade's Achilles heel, since one missed macro tag drops the whole
+manifest back onto weak item tags simultaneously.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.cascade import (
+    CascadeHierarchy,
+    MacroTag,
+    cascade_item_reliability,
+    expected_items_lost_jointly,
+)
+from repro.core.model import OBJECT_AVERAGE_RELIABILITY
+from repro.core.redundancy import combined_reliability
+from repro.sim.rng import RandomStream
+
+from conftest import record_result
+
+ITEM_P = OBJECT_AVERAGE_RELIABILITY  # 0.63, the paper's item-level average
+MACRO_P = 0.95                       # a well-placed, larger macro tag
+ITEMS_PER_CASE = 12
+TRIALS = 4000
+
+
+def _simulate_batch(rng, scheme):
+    """Monte-Carlo one case pass; returns items identified."""
+    if scheme == "cascade":
+        hierarchy = CascadeHierarchy()
+        items = [f"item-{i:02d}" for i in range(ITEMS_PER_CASE)]
+        hierarchy.add(MacroTag("macro", "case", frozenset(items)))
+        reads = {i for i in items if rng.bernoulli(ITEM_P)}
+        if rng.bernoulli(MACRO_P):
+            reads.add("macro")
+        return len(hierarchy.identified_items(reads))
+    # identical: two item-level tags per item.
+    identified = 0
+    for _ in range(ITEMS_PER_CASE):
+        if rng.bernoulli(ITEM_P) or rng.bernoulli(ITEM_P):
+            identified += 1
+    return identified
+
+
+def _run():
+    analytic_cascade = cascade_item_reliability(ITEM_P, MACRO_P)
+    analytic_identical = combined_reliability([ITEM_P, ITEM_P])
+
+    rng = RandomStream(20070625)
+    results = {}
+    for scheme in ("cascade", "identical"):
+        counts = [
+            _simulate_batch(rng, scheme) for _ in range(TRIALS)
+        ]
+        mean = sum(counts) / (TRIALS * ITEMS_PER_CASE)
+        # Burstiness: conditional burst size — given that a case lost
+        # anything, how many items went missing together?
+        losses = [ITEMS_PER_CASE - c for c in counts if c < ITEMS_PER_CASE]
+        burst = sum(losses) / len(losses) if losses else 0.0
+        results[scheme] = (mean, burst)
+    return analytic_cascade, analytic_identical, results
+
+
+@pytest.mark.benchmark(group="ext-cascade")
+def test_extension_cascade(benchmark):
+    analytic_cascade, analytic_identical, results = benchmark.pedantic(
+        _run, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Extension — cascaded macro tags vs identical-tag redundancy "
+        f"(item p={ITEM_P}, macro p={MACRO_P}, {ITEMS_PER_CASE} items/case)",
+        headers=(
+            "Scheme",
+            "Item reliability (MC)",
+            "Item reliability (analytic)",
+            "E[items lost | any lost]",
+        ),
+    )
+    table.add_row(
+        "cascade (item + macro)",
+        percent(results["cascade"][0], 1),
+        percent(analytic_cascade, 1),
+        f'{results["cascade"][1]:.2f}',
+    )
+    table.add_row(
+        "identical (2 item tags)",
+        percent(results["identical"][0], 1),
+        percent(analytic_identical, 1),
+        f'{results["identical"][1]:.2f}',
+    )
+    table.add_row(
+        "expected joint loss (macro miss)",
+        f"{expected_items_lost_jointly(ITEMS_PER_CASE, ITEM_P, MACRO_P):.2f}"
+        " items",
+        "-",
+        "-",
+    )
+    record_result("extension_cascade", table.render())
+
+    # Monte Carlo agrees with the analytics.
+    assert results["cascade"][0] == pytest.approx(analytic_cascade, abs=0.02)
+    assert results["identical"][0] == pytest.approx(
+        analytic_identical, abs=0.02
+    )
+    # The cascade wins on marginal reliability (its selling point)...
+    assert results["cascade"][0] > results["identical"][0]
+    # ...but loses on burstiness: when the cascade does lose, it loses
+    # a pile of items at once (the macro-miss branch), while identical
+    # tags lose items one or two at a time.
+    assert results["cascade"][1] > 2.0 * results["identical"][1]

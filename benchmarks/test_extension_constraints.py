@@ -1,0 +1,118 @@
+"""Extension benchmark: software correction vs physical redundancy.
+
+The paper's related work (Inoue et al. [6]) proposes correcting missed
+reads with real-world constraints instead of extra hardware. This
+extension pits the two approaches against each other on the same
+simulated traffic: single-tag boxes through a three-checkpoint site.
+
+* physical redundancy: add a second tag per box (paper's approach);
+* software correction: route + accompany constraints (related work);
+* both combined.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.calibration import PaperSetup
+from repro.reader.backend import ObjectRegistry, TrackedObject
+from repro.reader.site import Checkpoint, SiteTracker
+from repro.sim.events import TagReadEvent
+from repro.sim.rng import SeedSequence
+from repro.world.objects import BoxFace
+from repro.world.portal import single_antenna_portal
+from repro.world.scenarios.object_tracking import build_box_cart
+from repro.world.simulation import PortalPassSimulator
+
+from conftest import record_result
+
+CHECKPOINTS = ("dock", "belt", "gate")
+PALLET_PASSES = 6
+
+
+def _site_run(faces, use_groups):
+    setup = PaperSetup()
+    simulator = PortalPassSimulator(
+        portal=single_antenna_portal(), env=setup.env, params=setup.params
+    )
+    raw_total = corrected_total = journeys_total = 0
+    for pallet in range(PALLET_PASSES):
+        carrier, boxes = build_box_cart(list(faces))
+        registry = ObjectRegistry()
+        for box in boxes:
+            registry.register(
+                TrackedObject(
+                    box.box_id, frozenset(t.epc for t in box.all_tags())
+                )
+            )
+        site = SiteTracker(
+            checkpoints=[
+                Checkpoint(name, ((f"reader-{name}", "ant-0"),))
+                for name in CHECKPOINTS
+            ],
+            registry=registry,
+            groups=(
+                {"pallet": [b.box_id for b in boxes]} if use_groups else None
+            ),
+        )
+        for leg, name in enumerate(CHECKPOINTS):
+            result = simulator.run_pass(
+                [carrier], SeedSequence(9000 + pallet), leg
+            )
+            site.ingest(
+                [
+                    TagReadEvent(
+                        time=event.time + 1000.0 * leg,
+                        epc=event.epc,
+                        reader_id=f"reader-{name}",
+                        antenna_id=event.antenna_id,
+                        rssi_dbm=event.rssi_dbm,
+                    )
+                    for event in result.trace
+                ]
+            )
+        raw, corrected, total = site.completion_report()
+        raw_total += raw
+        corrected_total += corrected
+        journeys_total += total
+    return (
+        raw_total / journeys_total,
+        corrected_total / journeys_total,
+    )
+
+
+def _run():
+    single_raw, single_sw = _site_run((BoxFace.FRONT,), use_groups=True)
+    double_raw, double_sw = _site_run(
+        (BoxFace.FRONT, BoxFace.SIDE_CLOSER), use_groups=True
+    )
+    return {
+        "1 tag, raw": single_raw,
+        "1 tag + software correction": single_sw,
+        "2 tags, raw": double_raw,
+        "2 tags + software correction": double_sw,
+    }
+
+
+@pytest.mark.benchmark(group="ext-constraints")
+def test_extension_constraints(benchmark):
+    rates = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — journey completeness across 3 checkpoints "
+        f"({PALLET_PASSES} pallets x 12 boxes)",
+        headers=("Scheme", "Complete journeys"),
+    )
+    for name, rate in rates.items():
+        table.add_row(name, percent(rate, 1))
+    record_result("extension_constraints", table.render())
+
+    # Software correction helps the weak physical baseline...
+    assert rates["1 tag + software correction"] >= rates["1 tag, raw"]
+    # ...physical redundancy alone beats the raw single tag...
+    assert rates["2 tags, raw"] > rates["1 tag, raw"]
+    # ...and the combination is at least as good as either alone.
+    assert rates["2 tags + software correction"] >= max(
+        rates["2 tags, raw"], rates["1 tag + software correction"] - 0.02
+    )
+    # The stacked scheme is near-perfect.
+    assert rates["2 tags + software correction"] >= 0.95

@@ -1,0 +1,96 @@
+"""Extension benchmark: LANDMARC localization (paper reference [11]).
+
+The paper positions passive portal tracking as an alternative to
+active-tag location sensing ("Active tags have been employed for human
+location sensing and tracking [11]"). This extension implements the
+cited LANDMARC algorithm over our RSSI model and characterises its
+accuracy against reference-grid density and RSSI noise — quantifying
+what the portal approach trades away (continuous coordinates) and what
+it avoids (reference-tag infrastructure).
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import Table
+from repro.core.localization import LandmarcLocator, grid_references
+from repro.rf.geometry import Vec3
+from repro.sim.rng import RandomStream
+
+from conftest import record_result
+
+READERS = {
+    "r0": Vec3(0.0, 2.0, 0.0),
+    "r1": Vec3(10.0, 2.0, 0.0),
+    "r2": Vec3(0.0, 2.0, 10.0),
+    "r3": Vec3(10.0, 2.0, 10.0),
+}
+TARGETS = 40
+
+
+def _rssi_model(rng, sigma):
+    def signal_fn(position):
+        signals = {}
+        for reader_id, reader_pos in READERS.items():
+            d = max(position.distance_to(reader_pos), 0.3)
+            rssi = -30.0 - 25.0 * math.log10(d)
+            if sigma > 0.0:
+                rssi += rng.gauss(0.0, sigma)
+            signals[reader_id] = rssi
+        return signals
+
+    return signal_fn
+
+
+def _median_error(pitch_m, sigma, seed):
+    rng = RandomStream(seed)
+    survey = _rssi_model(RandomStream(seed + 1), sigma)
+    live = _rssi_model(rng, sigma)
+    columns = int(10.0 / pitch_m) + 1
+    locator = LandmarcLocator(
+        grid_references(
+            Vec3(0.0, 1.0, 0.0), columns=columns, rows=columns,
+            pitch_m=pitch_m, signal_fn=survey,
+        ),
+        k=4,
+    )
+    errors = []
+    for i in range(TARGETS):
+        truth = Vec3(0.5 + (i % 8) * 1.2, 1.0, 0.5 + (i // 8) * 1.8)
+        estimate = locator.locate(live(truth))
+        errors.append(estimate.error_to(truth))
+    return sorted(errors)[len(errors) // 2]
+
+
+def _run():
+    rows = []
+    for pitch in (1.0, 2.0, 4.0):
+        for sigma in (0.0, 2.0, 4.0):
+            rows.append(
+                (pitch, sigma, _median_error(pitch, sigma, seed=11))
+            )
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-localization")
+def test_extension_localization(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — LANDMARC localization error (10x10 m room, k=4)",
+        headers=("Grid pitch (m)", "RSSI noise sigma (dB)", "Median error (m)"),
+    )
+    errors = {}
+    for pitch, sigma, error in rows:
+        errors[(pitch, sigma)] = error
+        table.add_row(f"{pitch:g}", f"{sigma:g}", f"{error:.2f}")
+    record_result("extension_localization", table.render())
+
+    # Room-level accuracy (the cited paper's claim) at realistic noise.
+    assert errors[(1.0, 2.0)] < 2.5
+    assert errors[(2.0, 2.0)] < 3.0
+    # Noise degrades accuracy.
+    assert errors[(2.0, 4.0)] >= errors[(2.0, 0.0)]
+    # Denser reference grids help at matched noise.
+    assert errors[(1.0, 2.0)] <= errors[(4.0, 2.0)] + 0.3

@@ -1,0 +1,109 @@
+"""Extension benchmark: alternative tag designs (paper future work).
+
+"Future extensions of this work involve ... tag reliability for
+different tag designs" (Section 5). This benchmark evaluates the
+design catalog against the paper's own measured placements: what would
+each design have scored on the Table 1 locations, and what does the
+reliability-per-dollar picture look like next to plain redundancy?
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.model import OBJECT_LOCATION_RELIABILITY
+from repro.core.redundancy import combined_reliability
+from repro.world.tag_designs import (
+    DESIGNS,
+    TagDesign,
+    expected_read_reliability,
+)
+
+from conftest import record_result
+
+#: Which placements press which weakness: the top sits on metal; an
+#: uncontrolled orientation models careless item-level tagging.
+SCENARIOS = (
+    ("front (controlled)", "front", False, True),
+    ("top (on metal)", "top", True, True),
+    ("front (careless orientation)", "front", False, False),
+)
+
+
+def _run():
+    rows = []
+    for label, placement, on_metal, controlled in SCENARIOS:
+        base = OBJECT_LOCATION_RELIABILITY[placement]
+        per_design = {
+            design: expected_read_reliability(
+                design,
+                base,
+                on_metal=on_metal,
+                orientation_controlled=controlled,
+            )
+            for design in TagDesign
+        }
+        rows.append((label, base, per_design))
+    return rows
+
+
+@pytest.mark.benchmark(group="ext-designs")
+def test_extension_tag_designs(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Extension — expected reliability per tag design "
+        "(from the paper's Table 1 baselines)",
+        headers=("Scenario", "single dipole", "dual dipole", "NF loop",
+                 "metal mount"),
+    )
+    results = {}
+    for label, base, per_design in rows:
+        results[label] = per_design
+        table.add_row(
+            label,
+            percent(per_design[TagDesign.SINGLE_DIPOLE]),
+            percent(per_design[TagDesign.DUAL_DIPOLE]),
+            percent(per_design[TagDesign.NEAR_FIELD_LOOP]),
+            percent(per_design[TagDesign.METAL_MOUNT]),
+        )
+    # The economics row: fixing "top" with a metal-mount tag vs adding
+    # a second cheap dipole elsewhere.
+    metal_fix = results["top (on metal)"][TagDesign.METAL_MOUNT]
+    two_cheap = combined_reliability(
+        [OBJECT_LOCATION_RELIABILITY["front"],
+         OBJECT_LOCATION_RELIABILITY["side_closer"]]
+    )
+    cost_metal = DESIGNS[TagDesign.METAL_MOUNT].unit_cost_usd
+    cost_two = 2 * DESIGNS[TagDesign.SINGLE_DIPOLE].unit_cost_usd
+    lines = [
+        table.render(),
+        "",
+        f"Fixing 'top' with one metal-mount tag: {percent(metal_fix)} at "
+        f"${cost_metal:.2f}/object",
+        f"Avoiding 'top' with two cheap dipoles: {percent(two_cheap)} at "
+        f"${cost_two:.2f}/object",
+        "-> the paper's guidance (avoid bad placements, add cheap tags) "
+        "is also the economical one.",
+    ]
+    record_result("extension_tag_designs", "\n".join(lines))
+
+    # Metal-mount rescues the metal placement.
+    assert metal_fix >= 0.90
+    # Dual dipole wins exactly when orientation is uncontrolled.
+    careless = results["front (careless orientation)"]
+    controlled = results["front (controlled)"]
+    assert (
+        careless[TagDesign.DUAL_DIPOLE]
+        > careless[TagDesign.SINGLE_DIPOLE]
+    )
+    assert (
+        controlled[TagDesign.DUAL_DIPOLE]
+        < controlled[TagDesign.SINGLE_DIPOLE]
+    )
+    # The near-field loop is not a portal technology.
+    assert all(
+        row[TagDesign.NEAR_FIELD_LOOP] < 0.5 for row in results.values()
+    )
+    # And the punchline: cheap redundancy beats exotic hardware on $.
+    assert two_cheap >= 0.95
+    assert cost_two < cost_metal

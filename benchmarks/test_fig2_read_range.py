@@ -1,0 +1,77 @@
+"""Figure 2 benchmark: read reliability vs tag-antenna distance.
+
+Regenerates the paper's read-range curve: 20 facing tags in the
+Figure 1 grid, single poll per measurement, repeated per distance.
+Shape assertions: perfect at 1 m, gradual decay through the mid range,
+near-dead by 9-10 m.
+"""
+
+import pytest
+
+from repro.analysis.figures import Series, line_plot
+from repro.analysis.tables import Table
+from repro.core.model import READ_RANGE_MEAN_TAGS
+from repro.world.scenarios.read_range import run_read_range_experiment
+
+from conftest import record_result
+
+DISTANCES = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+REPETITIONS = 12
+
+
+def _run():
+    return run_read_range_experiment(
+        distances_m=DISTANCES, repetitions=REPETITIONS
+    )
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_read_range(benchmark):
+    results = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Figure 2 — mean tags read (of 20) vs distance",
+        headers=("Distance (m)", "Measured", "LQ", "UQ", "Paper (approx)"),
+    )
+    means = {}
+    for distance in DISTANCES:
+        point = results[distance]
+        means[distance] = point.mean_tags_read
+        table.add_row(
+            f"{distance:.0f}",
+            f"{point.mean_tags_read:.1f}",
+            f"{point.distribution.lower_quartile:.1f}",
+            f"{point.distribution.upper_quartile:.1f}",
+            f"{READ_RANGE_MEAN_TAGS[distance]:.1f}",
+        )
+    plot = line_plot(
+        "Figure 2 — tags read vs distance",
+        [
+            Series(
+                "measured",
+                tuple(DISTANCES),
+                tuple(means[d] for d in DISTANCES),
+                marker="*",
+            ),
+            Series(
+                "paper",
+                tuple(DISTANCES),
+                tuple(READ_RANGE_MEAN_TAGS[d] for d in DISTANCES),
+                marker="o",
+            ),
+        ],
+        y_min=0.0,
+        y_max=20.0,
+    )
+    record_result("fig2_read_range", table.render() + "\n\n" + plot)
+
+    # Shape: 100% at 1 m.
+    assert means[1.0] >= 19.0
+    # Gradual decay between 2 and 9 m (the paper's main observation).
+    assert means[2.0] > means[4.0] > means[6.0] > means[8.0]
+    # Nearly dead at the far end.
+    assert means[9.0] <= 8.0
+    assert means[10.0] <= 8.0
+    # Mid-range half-way point falls where the paper's does (5-7 m).
+    half_crossings = [d for d in DISTANCES if means[d] <= 10.0]
+    assert half_crossings and 4.0 <= half_crossings[0] <= 8.0

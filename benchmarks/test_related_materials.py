@@ -1,0 +1,49 @@
+"""Related-work benchmark: tagged materials (paper reference [12]).
+
+Ramakrishnan & Deavours' benchmark — cited by the paper — measured
+"read reliability for different tagged materials on a conveyer belt".
+This regenerates that study on our conveyor workload: the same cart,
+same tag placement, contents swept over empty / cardboard / liquid /
+metal.
+
+Shape assertions: the Section 2.1 material ranking (air ~ cardboard >
+liquid > metal-adjacent behaviour) and a material penalty large enough
+to motivate the paper's placement guidance.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.world.scenarios.materials_study import run_materials_study
+
+from conftest import record_result
+
+REPETITIONS = 8
+
+
+@pytest.mark.benchmark(group="related-materials")
+def test_related_materials(benchmark):
+    study = benchmark.pedantic(
+        lambda: run_materials_study(repetitions=REPETITIONS),
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        "Related work [12] — read reliability per tagged content "
+        "(side tags, 12 boxes, conveyor pass)",
+        headers=("Content", "Read reliability"),
+    )
+    for name, rate in study.ordered():
+        table.add_row(name, percent(rate))
+    record_result("related_materials", table.render())
+
+    rates = {name: est.rate for name, est in study.rates.items()}
+    # RF-friendly contents read nearly perfectly.
+    assert rates["empty"] >= 0.85
+    assert rates["cardboard"] >= 0.80
+    # Hostile contents pay a real penalty.
+    assert rates["metal"] <= rates["empty"]
+    assert rates["liquid"] <= rates["empty"]
+    # And the penalty is material, not noise: the spread is visible.
+    assert rates["empty"] - min(rates.values()) >= 0.05

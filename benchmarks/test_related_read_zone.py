@@ -1,0 +1,54 @@
+"""Deployment benchmark: the portal's read-zone footprint.
+
+Maps P(read) over the lane plane for the calibrated baseline portal.
+Ties three paper claims together spatially: read range "is generally a
+few meters" (Section 3), reliability peaks on boresight, and the
+false-positive remedy of separating antennas/zones works because the
+footprint is bounded.
+"""
+
+import pytest
+
+from repro.analysis.figures import heatmap
+from repro.world.portal import single_antenna_portal
+from repro.world.read_zone import map_read_zone
+
+from conftest import record_result
+
+
+def _run():
+    return map_read_zone(
+        single_antenna_portal(),
+        x_range=(-3.0, 3.0),
+        z_range=(0.5, 9.0),
+        steps=9,
+        trials=6,
+    )
+
+
+@pytest.mark.benchmark(group="related-read-zone")
+def test_related_read_zone(benchmark):
+    zone = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    art = heatmap(
+        "Read-zone map — P(read) at 1 m height (rows: distance, cols: x)",
+        zone.probabilities,
+        row_labels=[f"{z:.1f}m" for z in zone.z_values],
+        col_labels=[f"{x:+.0f}m" for x in zone.x_values],
+    )
+    range_line = (
+        f"\nreliable (>=90%) out to {zone.max_reliable_range_m():.1f} m "
+        "on boresight"
+    )
+    record_result("related_read_zone", art + range_line)
+
+    # "A few meters" of reliable range.
+    assert 1.0 <= zone.max_reliable_range_m() <= 7.0
+    # The nearest row is solidly covered around boresight.
+    centre = len(zone.x_values) // 2
+    assert zone.probabilities[0][centre] >= 0.8
+    # The far edge is not: the footprint is bounded.
+    assert max(zone.probabilities[-1]) <= 0.7
+    # Coverage shrinks with distance (monotone row maxima, with slack).
+    row_maxima = [max(row) for row in zone.probabilities]
+    assert row_maxima[0] >= row_maxima[-1]

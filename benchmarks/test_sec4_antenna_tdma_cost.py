@@ -1,0 +1,147 @@
+"""Section 4 benchmark: the TDMA cost of antenna redundancy.
+
+The paper: "Even though readers employ measures such as TDMA to
+prevent interference between two or more of their antennas, our
+initial observations showed a slight decrease in performance when
+blocking was not an issue. Nonetheless, in realistic cases, there was
+a distinctive gain using multiple antennas."
+
+Both halves are reproduced here:
+
+* **no blocking, time-starved** — a tag cluster parked in front of one
+  antenna with a short dwell: the second antenna only eats airtime,
+  and reliability dips slightly;
+* **realistic pass** — the moving cart: the second antenna's different
+  viewpoint wins more than the shared airtime costs.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.calibration import PaperSetup
+from repro.core.experiment import run_trials
+from repro.protocol.epc import EpcFactory
+from repro.rf.geometry import Vec3
+from repro.world.motion import LinearPass, StationaryPlacement
+from repro.world.portal import (
+    AntennaInstallation,
+    Portal,
+    ReaderAssignment,
+    dual_antenna_portal,
+)
+from repro.world.simulation import CarrierGroup, PortalPassSimulator
+from repro.world.tags import Tag
+
+from conftest import record_result
+
+REPETITIONS = 10
+
+
+def _single_at(x: float) -> Portal:
+    return Portal(
+        readers=(
+            ReaderAssignment(
+                "reader-0",
+                (
+                    AntennaInstallation(
+                        "ant-0", Vec3(x, 1.0, 0.0), Vec3.unit_z()
+                    ),
+                ),
+            ),
+        )
+    )
+
+
+def _cluster_carrier():
+    factory = EpcFactory()
+    tags = [
+        Tag(
+            epc=factory.next_epc().to_hex(),
+            local_position=Vec3(
+                (i % 6) * 0.12 - 0.3, 0.8 + (i // 6) * 0.15, 0.0
+            ),
+        )
+        for i in range(30)
+    ]
+    return CarrierGroup(
+        motion=StationaryPlacement(Vec3(-1.0, 0.0, 1.0), duration_s=0.25),
+        tags=tags,
+        clutter_sigma_db=2.0,
+    )
+
+
+def _moving_carrier():
+    factory = EpcFactory()
+    tags = [
+        Tag(
+            epc=factory.next_epc().to_hex(),
+            local_position=Vec3((i - 20) * 0.05, 1.0, 0.0),
+        )
+        for i in range(40)
+    ]
+    return CarrierGroup(
+        motion=LinearPass.centered_lane_pass(
+            lane_distance_m=1.0, speed_mps=8.0, half_span_m=2.0, height_m=0.0
+        ),
+        tags=tags,
+        clutter_sigma_db=2.0,
+    )
+
+
+def _rate(portal, carrier):
+    setup = PaperSetup()
+    simulator = PortalPassSimulator(
+        portal=portal, env=setup.env, params=setup.params
+    )
+    epcs = [t.epc for t in carrier.tags]
+    trials = run_trials(
+        "tdma-cost",
+        lambda seeds, i: simulator.run_pass([carrier], seeds, i),
+        REPETITIONS,
+    )
+    return sum(o.tags_read(epcs) for o in trials.outcomes) / (
+        len(epcs) * REPETITIONS
+    )
+
+
+def _run():
+    return {
+        "cluster / 1 antenna": _rate(_single_at(-1.0), _cluster_carrier()),
+        "cluster / 2 antennas (TDMA)": _rate(
+            dual_antenna_portal(), _cluster_carrier()
+        ),
+        "moving cart / 1 antenna": _rate(_single_at(0.0), _moving_carrier()),
+        "moving cart / 2 antennas": _rate(
+            dual_antenna_portal(), _moving_carrier()
+        ),
+    }
+
+
+@pytest.mark.benchmark(group="sec4-tdma")
+def test_sec4_antenna_tdma_cost(benchmark):
+    rates = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    table = Table(
+        "Section 4 — the TDMA cost (and payoff) of a second antenna",
+        headers=("Workload / portal", "Read reliability"),
+    )
+    for name, rate in rates.items():
+        table.add_row(name, percent(rate, 1))
+    record_result("sec4_antenna_tdma_cost", table.render())
+
+    # "A slight decrease in performance when blocking was not an issue":
+    assert (
+        rates["cluster / 2 antennas (TDMA)"]
+        <= rates["cluster / 1 antenna"] + 0.01
+    )
+    # ...but not a collapse (it is TDMA, not interference).
+    assert (
+        rates["cluster / 1 antenna"]
+        - rates["cluster / 2 antennas (TDMA)"]
+        <= 0.20
+    )
+    # "In realistic cases, there was a distinctive gain":
+    assert (
+        rates["moving cart / 2 antennas"]
+        >= rates["moving cart / 1 antenna"]
+    )

@@ -1,0 +1,62 @@
+"""Table 1 benchmark: read reliability per tag location on boxes.
+
+Regenerates the paper's per-location rows for 12 router boxes carted
+past one antenna. Shape assertions: ordering (top worst by a wide
+margin), each row within a band of the paper, and the all-locations
+average near the paper's 63%.
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.model import OBJECT_LOCATION_RELIABILITY
+from repro.world.objects import BoxFace
+
+from conftest import record_result
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_object_location(benchmark, table1_rates):
+    rates = benchmark.pedantic(
+        lambda: table1_rates, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Table 1 — read reliability for tags on objects",
+        headers=("Tag location", "Measured", "Paper"),
+    )
+    for face in (
+        BoxFace.FRONT,
+        BoxFace.SIDE_CLOSER,
+        BoxFace.SIDE_FARTHER,
+        BoxFace.TOP,
+    ):
+        table.add_row(
+            face.value,
+            percent(rates[face]),
+            percent(OBJECT_LOCATION_RELIABILITY[face.value]),
+        )
+    # The paper averages over six faces assuming front=back, top=bottom.
+    average = (
+        2 * rates[BoxFace.FRONT]
+        + rates[BoxFace.SIDE_CLOSER]
+        + rates[BoxFace.SIDE_FARTHER]
+        + 2 * rates[BoxFace.TOP]
+    ) / 6.0
+    table.add_row("average (6 faces)", percent(average), percent(0.63))
+    record_result("table1_object_location", table.render())
+
+    # Ordering: top is dramatically worst.
+    assert rates[BoxFace.TOP] < rates[BoxFace.SIDE_FARTHER]
+    assert rates[BoxFace.SIDE_FARTHER] < min(
+        rates[BoxFace.FRONT], rates[BoxFace.SIDE_CLOSER]
+    )
+    assert rates[BoxFace.TOP] <= rates[BoxFace.FRONT] - 0.30
+    # Per-row bands.
+    for face in rates:
+        paper = OBJECT_LOCATION_RELIABILITY[face.value]
+        assert abs(rates[face] - paper) <= 0.17, (
+            f"{face.value}: {rates[face]:.2f} vs paper {paper:.2f}"
+        )
+    # Headline average.
+    assert abs(average - 0.63) <= 0.12

@@ -1,0 +1,90 @@
+"""Table 2 benchmark: read reliability for tags on humans.
+
+Regenerates the paper's waist-placement rows for one and two walking
+subjects. Shape assertions: side-farther is nearly dead (body
+blocking), side-closer excellent, the closer of two subjects reads at
+least as well as a lone subject (reflections), and the farther subject
+reads worse (blocking).
+"""
+
+import pytest
+
+from repro.analysis.tables import Table, percent
+from repro.core.model import (
+    HUMAN_ONE_SUBJECT_RELIABILITY,
+    HUMAN_TWO_SUBJECT_RELIABILITY,
+)
+
+from conftest import record_result
+
+_PAPER_KEYS = {
+    "front": "front_back",
+    "side_closer": "side_closer",
+    "side_farther": "side_farther",
+}
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_human_location(benchmark, table2_results):
+    results = benchmark.pedantic(
+        lambda: table2_results, rounds=1, iterations=1
+    )
+
+    table = Table(
+        "Table 2 — read reliability for tags on humans",
+        headers=(
+            "Placement",
+            "1 subj (meas)",
+            "1 subj (paper)",
+            "closer (meas)",
+            "closer (paper)",
+            "farther (meas)",
+            "farther (paper)",
+        ),
+    )
+    for placement, row in results.items():
+        key = _PAPER_KEYS[placement]
+        paper_one = HUMAN_ONE_SUBJECT_RELIABILITY[key]
+        paper_closer, paper_farther = HUMAN_TWO_SUBJECT_RELIABILITY[key]
+        table.add_row(
+            placement,
+            percent(row.one_subject.rate),
+            percent(paper_one),
+            percent(row.two_subject_closer.rate),
+            percent(paper_closer),
+            percent(row.two_subject_farther.rate),
+            percent(paper_farther),
+        )
+    one_avg = sum(r.one_subject.rate for r in results.values()) / len(results)
+    two_avg = sum(
+        (r.two_subject_closer.rate + r.two_subject_farther.rate) / 2
+        for r in results.values()
+    ) / len(results)
+    lines = [
+        table.render(),
+        "",
+        f"One-subject average:  measured {percent(one_avg)}  paper 63%",
+        f"Two-subject average:  measured {percent(two_avg)}  paper 56%",
+    ]
+    record_result("table2_human_location", "\n".join(lines))
+
+    # Body blocking kills the far side.
+    assert results["side_farther"].one_subject.rate <= 0.25
+    # The near side is excellent.
+    assert results["side_closer"].one_subject.rate >= 0.80
+    # Reflection effect: closer-of-two at least matches a lone subject
+    # for the well-performing placements.
+    for placement in ("front", "side_closer"):
+        row = results[placement]
+        assert (
+            row.two_subject_closer.rate >= row.one_subject.rate - 0.10
+        )
+    # Blocking: the farther subject reads no better than the closer one.
+    for row in results.values():
+        assert (
+            row.two_subject_farther.rate
+            <= row.two_subject_closer.rate + 0.05
+        )
+    # Headline averages near the paper's 63% / 56%.
+    assert abs(one_avg - 0.63) <= 0.15
+    assert abs(two_avg - 0.56) <= 0.17

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Site survey: map a portal's read zone and certify a deployment.
+
+Scenario: before going live, an integrator surveys the dock door —
+where does the portal actually read? is the staging area safely outside
+the footprint? — and then runs an acceptance test: pallets through the
+gate until the portal statistically proves (or disproves) the 98% SLA,
+using a sequential test that stops as early as the evidence allows.
+
+Run:
+    python examples/site_survey.py     (takes a minute or two)
+"""
+
+from repro.analysis.figures import heatmap
+from repro.core.calibration import PaperSetup
+from repro.core.certification import SequentialCertifier, Verdict
+from repro.core.reliability import tracking_success
+from repro.sim.rng import SeedSequence
+from repro.world.objects import BoxFace
+from repro.world.portal import dual_antenna_portal, single_antenna_portal
+from repro.world.read_zone import map_read_zone
+from repro.world.scenarios.object_tracking import build_box_cart
+from repro.world.simulation import PortalPassSimulator
+
+SLA = 0.98
+
+
+def survey_read_zone() -> None:
+    print("Step 1 — read-zone survey (single antenna):")
+    zone = map_read_zone(
+        single_antenna_portal(),
+        x_range=(-3.0, 3.0),
+        z_range=(0.5, 8.0),
+        steps=8,
+        trials=5,
+    )
+    print(
+        heatmap(
+            "P(read) at 1 m height",
+            zone.probabilities,
+            row_labels=[f"{z:.1f}m" for z in zone.z_values],
+            col_labels=[f"{x:+.0f}m" for x in zone.x_values],
+        )
+    )
+    print(
+        f"  -> reliable to ~{zone.max_reliable_range_m():.1f} m; keep "
+        "staging areas beyond that (or drop reader power).\n"
+    )
+
+
+def certify_portal() -> None:
+    print(f"Step 2 — acceptance test against a {SLA:.0%} tracking SLA")
+    print("  (two tags per box, two antennas — the paper's best scheme)")
+    setup = PaperSetup()
+    simulator = PortalPassSimulator(
+        portal=dual_antenna_portal(), env=setup.env, params=setup.params
+    )
+    carrier, boxes = build_box_cart([BoxFace.FRONT, BoxFace.SIDE_CLOSER])
+    box_epcs = [[t.epc for t in b.all_tags()] for b in boxes]
+    certifier = SequentialCertifier(
+        p_good=SLA, p_bad=0.90, alpha=0.05, beta=0.05
+    )
+    seeds = SeedSequence(20260707)
+    passes = 0
+    while certifier.verdict() is Verdict.CONTINUE and passes < 60:
+        result = simulator.run_pass([carrier], seeds, passes)
+        for epcs in box_epcs:
+            verdict = certifier.observe(
+                tracking_success(result.read_epcs, epcs)
+            )
+            if verdict is not Verdict.CONTINUE:
+                break
+        passes += 1
+    print(f"  pallet passes run   : {passes}")
+    print(f"  object observations : {certifier.trials}")
+    print(f"  observed reliability: {certifier.observed_rate:.1%}")
+    print(f"  verdict             : {certifier.verdict().value.upper()}")
+    if certifier.verdict() is Verdict.ACCEPT:
+        print(
+            "  -> the portal is certified without a fixed 500-sample "
+            "campaign;\n     the sequential test stopped as soon as the "
+            "evidence sufficed."
+        )
+
+
+def main() -> None:
+    survey_read_zone()
+    certify_portal()
+
+
+if __name__ == "__main__":
+    main()

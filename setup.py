@@ -1,0 +1,5 @@
+"""Setup shim for environments without wheel/build isolation."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,158 @@
+"""ASCII line/scatter plots for figure-style benchmark output.
+
+Complements :mod:`repro.analysis.tables`: where a paper figure is a
+curve (Figure 2's reliability-vs-distance) rather than bars, these
+renderers draw it as a fixed-grid ASCII plot that survives logs and
+diffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: parallel x/y sequences."""
+
+    name: str
+    xs: Tuple[float, ...]
+    ys: Tuple[float, ...]
+    marker: str = "*"
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.name!r} is empty")
+        if len(self.marker) != 1:
+            raise ValueError("marker must be a single character")
+
+
+def line_plot(
+    title: str,
+    series: Sequence[Series],
+    width: int = 60,
+    height: int = 16,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render one or more series on a shared-axis ASCII grid.
+
+    The x axis spans the union of the series' x ranges; the y axis is
+    auto-scaled unless pinned. Later series overwrite earlier ones where
+    markers collide.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if width < 10 or height < 4:
+        raise ValueError("plot must be at least 10x4 characters")
+    all_x = [x for s in series for x in s.xs]
+    all_y = [y for s in series for y in s.ys]
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo = y_min if y_min is not None else min(all_y)
+    y_hi = y_max if y_max is not None else max(all_y)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        cx = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+        cy = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+        cy = height - 1 - cy  # row 0 is the top
+        if 0 <= cx < width and 0 <= cy < height:
+            grid[cy][cx] = marker
+
+    for s in series:
+        for x, y in zip(s.xs, s.ys):
+            place(x, y, s.marker)
+
+    label_width = max(
+        len(f"{y_hi:.4g}"), len(f"{y_lo:.4g}")
+    )
+    lines = [title, "=" * len(title)]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{y_hi:.4g}".rjust(label_width)
+        elif row_index == height - 1:
+            label = f"{y_lo:.4g}".rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}|")
+    x_axis = f"{x_lo:.4g}".ljust(width // 2) + f"{x_hi:.4g}".rjust(
+        width - width // 2
+    )
+    lines.append(" " * label_width + "  " + x_axis)
+    legend = "   ".join(f"{s.marker} = {s.name}" for s in series)
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines)
+
+
+def heatmap(
+    title: str,
+    rows: Sequence[Sequence[float]],
+    row_labels: Optional[Sequence[str]] = None,
+    col_labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a [0, 1]-valued grid as shaded ASCII cells.
+
+    Used for read-zone maps: each cell maps its probability to a
+    five-level shade.
+    """
+    if not rows or not rows[0]:
+        raise ValueError("heatmap needs a non-empty grid")
+    width = len(rows[0])
+    for row in rows:
+        if len(row) != width:
+            raise ValueError("heatmap rows must have equal length")
+        for value in row:
+            if not -0.001 <= value <= 1.001:
+                raise ValueError(f"heatmap values must be in [0, 1]: {value!r}")
+    if row_labels is not None and len(row_labels) != len(rows):
+        raise ValueError("row_labels length mismatch")
+    if col_labels is not None and len(col_labels) != width:
+        raise ValueError("col_labels length mismatch")
+
+    shades = " .:*#"
+
+    def cell(value: float) -> str:
+        level = int(round(max(0.0, min(1.0, value)) * (len(shades) - 1)))
+        return shades[level] * 2
+
+    label_w = max((len(l) for l in row_labels), default=0) if row_labels else 0
+    lines = [title, "=" * len(title)]
+    for i, row in enumerate(rows):
+        label = (row_labels[i] if row_labels else "").rjust(label_w)
+        lines.append(f"{label} |{''.join(cell(v) for v in row)}|")
+    if col_labels:
+        # Show first and last column labels under the grid.
+        grid_width = 2 * width
+        footer = col_labels[0].ljust(grid_width // 2) + col_labels[-1].rjust(
+            grid_width - grid_width // 2
+        )
+        lines.append(" " * label_w + "  " + footer)
+    lines.append(
+        " " * label_w + "  legend: ' '=0 '.'=0.25 ':'=0.5 '*'=0.75 '#'=1"
+    )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A one-line bar sketch of a sequence (8-level blocks)."""
+    if not values:
+        raise ValueError("need at least one value")
+    blocks = " ▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return blocks[4] * len(values)
+    out = []
+    for v in values:
+        level = int(round((v - lo) / (hi - lo) * (len(blocks) - 1)))
+        out.append(blocks[level])
+    return "".join(out)

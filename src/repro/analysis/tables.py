@@ -1,0 +1,113 @@
+"""ASCII table and bar-chart rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper reports;
+these renderers keep that output consistent and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple fixed-width ASCII table."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-ified."""
+        row = tuple(str(c) for c in cells)
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def render(self) -> str:
+        """The full table as a string (title, rule, header, rows)."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title), fmt(self.headers), rule]
+        lines += [fmt(row) for row in self.rows]
+        return "\n".join(lines)
+
+
+def percent(value: float, decimals: int = 0) -> str:
+    """Format a [0, 1] rate the way the paper's tables do ("87%")."""
+    if not -0.001 <= value <= 1.001:
+        raise ValueError(f"expected a rate in [0, 1], got {value!r}")
+    return f"{100.0 * value:.{decimals}f}%"
+
+
+def bar_chart(
+    title: str,
+    labels: Sequence[str],
+    series: Sequence[Sequence[float]],
+    series_names: Sequence[str],
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bars for figure-style summaries (Figs 5-7).
+
+    Each label gets one bar per series; values are rates in [0, 1].
+    """
+    if len(series) != len(series_names):
+        raise ValueError("series and series_names must have equal length")
+    for s in series:
+        if len(s) != len(labels):
+            raise ValueError("every series needs one value per label")
+    label_w = max(len(label) for label in labels) if labels else 0
+    name_w = max(len(n) for n in series_names) if series_names else 0
+    lines = [title, "=" * len(title)]
+    for i, label in enumerate(labels):
+        for s, name in zip(series, series_names):
+            value = s[i]
+            if not -0.001 <= value <= 1.001:
+                raise ValueError(f"rate out of range for bar: {value!r}")
+            filled = int(round(max(0.0, min(1.0, value)) * width))
+            bar = "#" * filled + "." * (width - filled)
+            lines.append(
+                f"{label.ljust(label_w)}  {name.ljust(name_w)} |{bar}| "
+                f"{percent(value)}"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """One reproduced quantity next to the paper's value."""
+
+    name: str
+    paper_value: float
+    measured_value: float
+    tolerance: float
+
+    @property
+    def within_tolerance(self) -> bool:
+        return abs(self.measured_value - self.paper_value) <= self.tolerance
+
+    def render(self) -> str:
+        verdict = "OK " if self.within_tolerance else "OFF"
+        return (
+            f"[{verdict}] {self.name}: paper={self.paper_value:.3f} "
+            f"measured={self.measured_value:.3f} (tol {self.tolerance:.3f})"
+        )
+
+
+def comparison_report(comparisons: Sequence[PaperComparison]) -> str:
+    """Render a block of paper-vs-measured lines plus a pass count."""
+    lines = [c.render() for c in comparisons]
+    ok = sum(1 for c in comparisons if c.within_tolerance)
+    lines.append(f"-- {ok}/{len(comparisons)} within tolerance --")
+    return "\n".join(lines)

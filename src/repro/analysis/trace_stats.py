@@ -1,0 +1,128 @@
+"""Analytics over read traces.
+
+Operational questions about a portal ("is one antenna pulling its
+weight?", "how hot is the RSSI when reads do happen?", "when during
+the pass do reads concentrate?") are all functions of the read trace;
+this module computes them so deployments and notebooks don't reinvent
+the aggregation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.trace import ReadTrace
+from .stats import mean, quantile
+
+
+@dataclass(frozen=True)
+class RssiSummary:
+    """Distribution summary of the RSSI of successful reads."""
+
+    count: int
+    min_dbm: float
+    median_dbm: float
+    max_dbm: float
+
+    @staticmethod
+    def from_trace(trace: ReadTrace) -> Optional["RssiSummary"]:
+        values = [e.rssi_dbm for e in trace]
+        if not values:
+            return None
+        return RssiSummary(
+            count=len(values),
+            min_dbm=min(values),
+            median_dbm=quantile(values, 0.5),
+            max_dbm=max(values),
+        )
+
+
+def read_rate_over_time(
+    trace: ReadTrace, duration_s: float, buckets: int = 10
+) -> List[int]:
+    """Read counts per equal time bucket over ``[0, duration_s)``.
+
+    Shows where in a pass the reads concentrate (the "read window").
+    """
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets!r}")
+    if duration_s <= 0.0:
+        raise ValueError(f"duration must be positive, got {duration_s!r}")
+    counts = [0] * buckets
+    for event in trace:
+        index = int(event.time / duration_s * buckets)
+        if 0 <= index < buckets:
+            counts[index] += 1
+        elif index == buckets:  # event exactly at duration
+            counts[-1] += 1
+    return counts
+
+
+def antenna_utilization(trace: ReadTrace) -> Dict[Tuple[str, str], int]:
+    """Read counts per (reader, antenna) — is redundancy earning reads?"""
+    return {
+        key: len(events) for key, events in trace.by_antenna().items()
+    }
+
+
+def antenna_balance(trace: ReadTrace) -> Optional[float]:
+    """Smallest/largest antenna share, in (0, 1]; None without reads.
+
+    1.0 means perfectly balanced antennas; values near 0 mean one
+    antenna is doing all the work (a sign the other is misplaced).
+    """
+    utilization = antenna_utilization(trace)
+    if not utilization:
+        return None
+    counts = list(utilization.values())
+    return min(counts) / max(counts)
+
+
+def inter_read_gaps(trace: ReadTrace, epc: str) -> List[float]:
+    """Gaps between consecutive reads of one tag."""
+    times = [e.time for e in trace.reads_of(epc)]
+    return [b - a for a, b in zip(times, times[1:])]
+
+
+@dataclass(frozen=True)
+class PassProfile:
+    """One-stop pass summary for dashboards and logs."""
+
+    total_reads: int
+    unique_tags: int
+    rssi: Optional[RssiSummary]
+    balance: Optional[float]
+    busiest_bucket: int
+    read_window_fraction: float
+
+    @staticmethod
+    def from_trace(
+        trace: ReadTrace, duration_s: float, buckets: int = 10
+    ) -> "PassProfile":
+        rate = read_rate_over_time(trace, duration_s, buckets)
+        busiest = max(range(len(rate)), key=lambda i: rate[i])
+        active = sum(1 for c in rate if c > 0)
+        return PassProfile(
+            total_reads=len(trace),
+            unique_tags=len(trace.epcs_seen()),
+            rssi=RssiSummary.from_trace(trace),
+            balance=antenna_balance(trace),
+            busiest_bucket=busiest,
+            read_window_fraction=active / buckets,
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"reads: {self.total_reads} over {self.unique_tags} tags",
+            f"read window: {self.read_window_fraction:.0%} of pass, "
+            f"peak in bucket {self.busiest_bucket}",
+        ]
+        if self.rssi is not None:
+            lines.append(
+                f"rssi: median {self.rssi.median_dbm:.1f} dBm "
+                f"[{self.rssi.min_dbm:.1f}, {self.rssi.max_dbm:.1f}]"
+            )
+        if self.balance is not None:
+            lines.append(f"antenna balance: {self.balance:.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples
+--------
+::
+
+    python -m repro read-range --reps 12
+    python -m repro table1 --reps 8
+    python -m repro table2
+    python -m repro reader-redundancy
+    python -m repro plan --target 0.995
+    python -m repro report
+
+Every experiment command accepts ``--reps`` and ``--seed``; outputs are
+the same ASCII tables the benchmark harness records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .analysis.tables import Table, percent
+from .core.experiment import DEFAULT_SEED
+from .core.model import (
+    HUMAN_ONE_SUBJECT_RELIABILITY,
+    OBJECT_LOCATION_RELIABILITY,
+    READ_RANGE_MEAN_TAGS,
+)
+from .core.planner import CostModel, DeploymentPlanner
+
+
+def _add_common(parser: argparse.ArgumentParser, default_reps: int) -> None:
+    parser.add_argument(
+        "--reps", type=int, default=default_reps,
+        help=f"repetitions per configuration (default {default_reps})",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root seed for reproducibility",
+    )
+
+
+def _cmd_read_range(args: argparse.Namespace) -> int:
+    from .world.scenarios.read_range import run_read_range_experiment
+
+    results = run_read_range_experiment(
+        repetitions=args.reps, seed=args.seed
+    )
+    table = Table(
+        "Figure 2 — mean tags read (of 20) vs distance",
+        headers=("Distance (m)", "Measured", "Paper (approx)"),
+    )
+    for distance, point in sorted(results.items()):
+        paper = READ_RANGE_MEAN_TAGS.get(distance)
+        table.add_row(
+            f"{distance:g}",
+            f"{point.mean_tags_read:.1f}",
+            f"{paper:.1f}" if paper is not None else "-",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from .world.scenarios.object_tracking import run_table1_experiment
+
+    results = run_table1_experiment(repetitions=args.reps, seed=args.seed)
+    table = Table(
+        "Table 1 — read reliability for tags on objects",
+        headers=("Location", "Measured", "Paper"),
+    )
+    for face, estimate in results.items():
+        table.add_row(
+            face.value,
+            percent(estimate.rate),
+            percent(OBJECT_LOCATION_RELIABILITY[face.value]),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .world.scenarios.human_tracking import run_table2_experiment
+
+    results = run_table2_experiment(repetitions=args.reps, seed=args.seed)
+    table = Table(
+        "Table 2 — read reliability for tags on humans",
+        headers=("Placement", "1 subject", "2 subj closer", "2 subj farther"),
+    )
+    for placement, row in results.items():
+        table.add_row(
+            placement,
+            percent(row.one_subject.rate),
+            percent(row.two_subject_closer.rate),
+            percent(row.two_subject_farther.rate),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from .world.scenarios.object_tracking import (
+        run_object_redundancy_experiment,
+    )
+
+    outcomes = run_object_redundancy_experiment(
+        repetitions=args.reps, seed=args.seed
+    )
+    table = Table(
+        "Table 3 — redundancy for object tracking",
+        headers=("Configuration", "R_M", "R_C"),
+    )
+    for outcome in outcomes:
+        table.add_row(
+            outcome.case.name,
+            percent(outcome.measured.rate),
+            percent(outcome.calculated, 1),
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_reader_redundancy(args: argparse.Namespace) -> int:
+    from .world.scenarios.reader_redundancy import (
+        run_reader_redundancy_experiment,
+    )
+
+    result = run_reader_redundancy_experiment(
+        repetitions=args.reps, seed=args.seed
+    )
+    table = Table(
+        "Section 4 — reader-level redundancy",
+        headers=("Configuration", "Reliability"),
+    )
+    table.add_row("1 reader", percent(result.single_reader.rate))
+    table.add_row("2 readers, no DRM", percent(result.dual_no_drm.rate))
+    table.add_row("2 readers, DRM", percent(result.dual_with_drm.rate))
+    print(table.render())
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    source = (
+        OBJECT_LOCATION_RELIABILITY
+        if args.domain == "object"
+        else HUMAN_ONE_SUBJECT_RELIABILITY
+    )
+    planner = DeploymentPlanner(
+        dict(source),
+        cost_model=CostModel(
+            cost_per_tag=args.tag_cost,
+            cost_per_antenna=args.antenna_cost,
+            objects_per_deployment=args.objects,
+        ),
+        antenna_efficiency=args.antenna_efficiency,
+    )
+    try:
+        plan = planner.plan(args.target, max_antennas=args.max_antennas)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    table = Table(
+        f"Deployment plan for {args.target:.1%} tracking reliability",
+        headers=("Setting", "Value"),
+    )
+    table.add_row("tags per object", plan.tags_per_object)
+    table.add_row("placements", ", ".join(plan.placements))
+    table.add_row("antennas", plan.antennas)
+    table.add_row("predicted reliability", percent(plan.predicted_reliability, 2))
+    table.add_row("cost", f"${plan.cost:,.0f}")
+    print(table.render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .core import report
+
+    report.main()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Reliability Techniques for RFID-Based "
+            "Object Tracking Applications' (DSN 2007)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    experiments = (
+        ("read-range", _cmd_read_range, 12, "Figure 2 read-range sweep"),
+        ("table1", _cmd_table1, 8, "Table 1 tag locations on boxes"),
+        ("table2", _cmd_table2, 20, "Table 2 tags on humans"),
+        ("table3", _cmd_table3, 8, "Table 3 object redundancy"),
+        (
+            "reader-redundancy",
+            _cmd_reader_redundancy,
+            20,
+            "Section 4 reader-level redundancy",
+        ),
+    )
+    for name, handler, default_reps, help_text in experiments:
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p, default_reps)
+        p.set_defaults(handler=handler)
+
+    plan = sub.add_parser(
+        "plan", help="deployment planning from the paper's measurements"
+    )
+    plan.add_argument("--target", type=float, default=0.99)
+    plan.add_argument(
+        "--domain", choices=("object", "human"), default="object"
+    )
+    plan.add_argument("--tag-cost", type=float, default=0.05)
+    plan.add_argument("--antenna-cost", type=float, default=300.0)
+    plan.add_argument("--objects", type=int, default=1_000_000)
+    plan.add_argument("--antenna-efficiency", type=float, default=0.7)
+    plan.add_argument("--max-antennas", type=int, default=4)
+    plan.set_defaults(handler=_cmd_plan)
+
+    report = sub.add_parser(
+        "report", help="assemble EXPERIMENTS.md from benchmark results"
+    )
+    report.set_defaults(handler=_cmd_report)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Cascaded (macro) tagging baseline (Lindsay & Reade, 2003).
+
+The related-work alternative to identical-tag redundancy: tag the
+*containers* (case, pallet, truckload) with easier-to-read "macro"
+tags that carry a manifest of the item tags inside. Reading one macro
+tag then implies the presence of every listed item.
+
+The paper deliberately restricts itself to identical tags; this module
+implements the cascade so benchmarks can compare the two approaches:
+cascade wins on read reliability (macro tags are bigger/better placed)
+but fails *jointly* — one missed macro tag loses the whole manifest —
+and requires manifest maintenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+
+from .redundancy import combined_reliability
+
+
+@dataclass(frozen=True)
+class MacroTag:
+    """A container-level tag carrying a manifest of contained EPCs."""
+
+    epc: str
+    level: str
+    manifest: FrozenSet[str]
+
+    def __post_init__(self) -> None:
+        if not self.manifest:
+            raise ValueError(f"macro tag {self.epc} has an empty manifest")
+        if self.epc in self.manifest:
+            raise ValueError(f"macro tag {self.epc} lists itself")
+
+
+@dataclass
+class CascadeHierarchy:
+    """A containment hierarchy: items inside cases inside pallets, etc.
+
+    ``macro_tags`` may nest: a pallet macro's manifest can list case
+    macro EPCs; resolution expands manifests transitively.
+    """
+
+    macro_tags: Dict[str, MacroTag] = field(default_factory=dict)
+
+    def add(self, macro: MacroTag) -> None:
+        if macro.epc in self.macro_tags:
+            raise ValueError(f"duplicate macro tag {macro.epc}")
+        self.macro_tags[macro.epc] = macro
+
+    def resolve(self, epc: str, _seen: Optional[Set[str]] = None) -> FrozenSet[str]:
+        """All item EPCs implied by reading ``epc`` (transitively).
+
+        A plain item tag implies only itself; a macro tag implies every
+        item in its manifest, expanding nested macros. Cycles raise.
+        """
+        seen = _seen if _seen is not None else set()
+        if epc in seen:
+            raise ValueError(f"cycle in cascade hierarchy at {epc}")
+        if epc not in self.macro_tags:
+            return frozenset({epc})
+        seen.add(epc)
+        items: Set[str] = set()
+        for member in self.macro_tags[epc].manifest:
+            items |= self.resolve(member, seen)
+        seen.discard(epc)
+        return frozenset(items)
+
+    def identified_items(self, read_epcs: Set[str]) -> FrozenSet[str]:
+        """Every item identified by a set of raw reads, macros expanded."""
+        items: Set[str] = set()
+        for epc in read_epcs:
+            items |= self.resolve(epc)
+        return frozenset(items)
+
+
+def cascade_item_reliability(
+    item_reliability: float,
+    macro_reliability: float,
+    macros_covering_item: int = 1,
+) -> float:
+    """Analytical item-identification reliability under a cascade.
+
+    An item is identified when its own tag reads *or* any covering
+    macro tag reads — the same R_C combination, but note the failure
+    correlation across items sharing a macro: this formula gives the
+    per-item marginal, not the joint distribution.
+    """
+    if macros_covering_item < 0:
+        raise ValueError(
+            f"macro count must be non-negative, got {macros_covering_item!r}"
+        )
+    ps = [item_reliability] + [macro_reliability] * macros_covering_item
+    return combined_reliability(ps)
+
+
+def expected_items_lost_jointly(
+    items_per_case: int,
+    item_reliability: float,
+    macro_reliability: float,
+) -> float:
+    """Expected number of items missed *together* when a macro read fails.
+
+    The cascade's weakness: conditioned on the macro missing, all
+    ``items_per_case`` items fall back on their individual (weak) tags
+    simultaneously, so losses are bursty. Returns the expected count of
+    items missed in the macro-miss branch, weighted by its probability.
+    """
+    if items_per_case < 1:
+        raise ValueError(f"items per case must be >= 1, got {items_per_case!r}")
+    for name, p in (("item", item_reliability), ("macro", macro_reliability)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} reliability must be in [0, 1], got {p!r}")
+    p_macro_miss = 1.0 - macro_reliability
+    expected_missed_items = items_per_case * (1.0 - item_reliability)
+    return p_macro_miss * expected_missed_items

@@ -1,0 +1,135 @@
+"""Sequential reliability certification (Wald's SPRT).
+
+Deployment validation questions are sequential by nature: "keep sending
+pallets through the portal until we're confident it meets (or misses)
+the 99% SLA". Fixed-sample testing wastes passes; Wald's sequential
+probability ratio test gives the same error guarantees with far fewer
+trials on clear-cut portals.
+
+Hypotheses: H0: p >= p_good (portal acceptable) vs H1: p <= p_bad.
+After each pass, update the log-likelihood ratio and stop when either
+boundary is crossed.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+class Verdict(enum.Enum):
+    ACCEPT = "accept"        # portal meets the good threshold
+    REJECT = "reject"        # portal at/below the bad threshold
+    CONTINUE = "continue"    # keep testing
+
+
+@dataclass
+class SequentialCertifier:
+    """Wald SPRT over Bernoulli tracking outcomes.
+
+    Parameters
+    ----------
+    p_good:
+        Reliability the portal must meet (H0 acceptance level).
+    p_bad:
+        Reliability considered a clear failure (H1). Must be < p_good;
+        the gap is the "indifference region" where either verdict is
+        tolerable.
+    alpha:
+        Probability of rejecting a good portal (false alarm).
+    beta:
+        Probability of accepting a bad portal (miss).
+    """
+
+    p_good: float = 0.99
+    p_bad: float = 0.95
+    alpha: float = 0.05
+    beta: float = 0.05
+    _llr: float = field(default=0.0, init=False)
+    _trials: int = field(default=0, init=False)
+    _successes: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_bad < self.p_good < 1.0:
+            raise ValueError(
+                f"need 0 < p_bad < p_good < 1, got {self.p_bad}, {self.p_good}"
+            )
+        for name in ("alpha", "beta"):
+            value = getattr(self, name)
+            if not 0.0 < value < 0.5:
+                raise ValueError(f"{name} must be in (0, 0.5), got {value!r}")
+
+    # -- boundaries ---------------------------------------------------------
+
+    @property
+    def upper_boundary(self) -> float:
+        """LLR above which H1 (bad) is declared: log((1-beta)/alpha)."""
+        return math.log((1.0 - self.beta) / self.alpha)
+
+    @property
+    def lower_boundary(self) -> float:
+        """LLR below which H0 (good) is declared: log(beta/(1-alpha))."""
+        return math.log(self.beta / (1.0 - self.alpha))
+
+    # -- updates ------------------------------------------------------------
+
+    def observe(self, success: bool) -> Verdict:
+        """Fold one pass outcome into the test and return the state."""
+        if success:
+            self._llr += math.log(self.p_bad / self.p_good)
+            self._successes += 1
+        else:
+            self._llr += math.log((1.0 - self.p_bad) / (1.0 - self.p_good))
+        self._trials += 1
+        return self.verdict()
+
+    def observe_many(self, outcomes: Iterable[bool]) -> Verdict:
+        """Fold outcomes until a decision or exhaustion."""
+        verdict = self.verdict()
+        for outcome in outcomes:
+            verdict = self.observe(outcome)
+            if verdict is not Verdict.CONTINUE:
+                break
+        return verdict
+
+    def verdict(self) -> Verdict:
+        if self._llr >= self.upper_boundary:
+            return Verdict.REJECT
+        if self._llr <= self.lower_boundary:
+            return Verdict.ACCEPT
+        return Verdict.CONTINUE
+
+    # -- reporting ------------------------------------------------------------
+
+    @property
+    def trials(self) -> int:
+        return self._trials
+
+    @property
+    def successes(self) -> int:
+        return self._successes
+
+    @property
+    def observed_rate(self) -> Optional[float]:
+        if self._trials == 0:
+            return None
+        return self._successes / self._trials
+
+    def expected_trials_if_good(self) -> float:
+        """Approximate expected sample size when the true rate is p_good.
+
+        Wald's approximation: E[N] = (L(accept boundary)) / E[step].
+        """
+        step = self.p_good * math.log(self.p_bad / self.p_good) + (
+            1.0 - self.p_good
+        ) * math.log((1.0 - self.p_bad) / (1.0 - self.p_good))
+        if step == 0.0:
+            return float("inf")
+        return self.lower_boundary / step
+
+    def reset(self) -> None:
+        self._llr = 0.0
+        self._trials = 0
+        self._successes = 0

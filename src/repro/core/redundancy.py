@@ -1,0 +1,190 @@
+"""The paper's analytical redundancy model and redundancy planning.
+
+Section 4 defines every (tag, antenna) combination covering an object
+as a **read opportunity** and, assuming independence, predicts the
+object tracking reliability of a redundant configuration as
+
+    R_C = 1 - (1 - P_1)(1 - P_2) ... (1 - P_n)
+
+This module implements that model, its inverse (how much redundancy do
+I need for a target reliability?), and the bookkeeping for enumerating
+read opportunities of tag/antenna/reader-level redundancy schemes. The
+independence assumption is knowingly optimistic — the paper's own
+2-antenna measurement (86%) undershoots its model (96%) because both
+antennas see the same blocked geometry — and the simulator quantifies
+that gap (see the correlation ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+
+def combined_reliability(opportunity_reliabilities: Sequence[float]) -> float:
+    """The paper's R_C: probability at least one opportunity succeeds.
+
+    Raises
+    ------
+    ValueError
+        If no opportunities are given or any probability is outside
+        [0, 1].
+    """
+    if not opportunity_reliabilities:
+        raise ValueError("need at least one read opportunity")
+    miss = 1.0
+    for p in opportunity_reliabilities:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability {p!r} outside [0, 1]")
+        miss *= 1.0 - p
+    return 1.0 - miss
+
+
+def combined_reliability_correlated(
+    opportunity_reliabilities: Sequence[float], correlation: float
+) -> float:
+    """R_C under pairwise-correlated failures (a simple common-cause mix).
+
+    With probability ``correlation`` all opportunities share one fate
+    (governed by the *best* single opportunity); with probability
+    ``1 - correlation`` they fail independently. ``correlation = 0``
+    recovers the paper's model; ``correlation = 1`` means redundancy
+    adds nothing. The simulator's measured gap between R_M and R_C for
+    multi-antenna setups corresponds to an effective correlation, which
+    the ablation benchmark extracts.
+    """
+    if not 0.0 <= correlation <= 1.0:
+        raise ValueError(f"correlation must be in [0, 1], got {correlation!r}")
+    independent = combined_reliability(opportunity_reliabilities)
+    best = max(opportunity_reliabilities)
+    return correlation * best + (1.0 - correlation) * independent
+
+
+def opportunities_needed(
+    single_reliability: float, target_reliability: float
+) -> int:
+    """Minimum number of independent opportunities to reach a target.
+
+    Inverts R_C for identical opportunities:
+    ``n >= log(1 - target) / log(1 - p)``.
+
+    Raises
+    ------
+    ValueError
+        If ``single_reliability`` is 0 (no amount of redundancy helps)
+        or the probabilities are out of range.
+    """
+    if not 0.0 < single_reliability <= 1.0:
+        raise ValueError(
+            "single-opportunity reliability must be in (0, 1], got "
+            f"{single_reliability!r}"
+        )
+    if not 0.0 <= target_reliability < 1.0:
+        raise ValueError(
+            f"target must be in [0, 1), got {target_reliability!r}"
+        )
+    if single_reliability >= target_reliability:
+        return 1
+    if single_reliability == 1.0:
+        return 1
+    n = math.log(1.0 - target_reliability) / math.log(1.0 - single_reliability)
+    return max(1, int(math.ceil(n - 1e-12)))
+
+
+@dataclass(frozen=True)
+class ReadOpportunity:
+    """One (tag placement, antenna) combination with its reliability."""
+
+    tag_label: str
+    antenna_id: str
+    reliability: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.reliability <= 1.0:
+            raise ValueError(
+                f"reliability must be in [0, 1], got {self.reliability!r}"
+            )
+
+
+@dataclass(frozen=True)
+class RedundancyConfiguration:
+    """A named redundancy scheme: which tags, which antennas.
+
+    ``opportunity_table`` maps (tag_label, antenna_id) to the measured
+    or modelled single-opportunity reliability; schemes are compared by
+    enumerating their opportunities through the R_C model.
+    """
+
+    name: str
+    tag_labels: Tuple[str, ...]
+    antenna_ids: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.tag_labels:
+            raise ValueError("configuration needs at least one tag")
+        if not self.antenna_ids:
+            raise ValueError("configuration needs at least one antenna")
+
+    @property
+    def opportunity_count(self) -> int:
+        return len(self.tag_labels) * len(self.antenna_ids)
+
+    def opportunities(
+        self, opportunity_table: Mapping[Tuple[str, str], float]
+    ) -> List[ReadOpportunity]:
+        """Enumerate the read opportunities with their reliabilities.
+
+        Raises
+        ------
+        KeyError
+            If the table lacks an entry for any (tag, antenna) pair.
+        """
+        result = []
+        for tag_label, antenna_id in product(self.tag_labels, self.antenna_ids):
+            key = (tag_label, antenna_id)
+            if key not in opportunity_table:
+                raise KeyError(
+                    f"no reliability for opportunity {key!r} in table"
+                )
+            result.append(
+                ReadOpportunity(tag_label, antenna_id, opportunity_table[key])
+            )
+        return result
+
+    def expected_reliability(
+        self, opportunity_table: Mapping[Tuple[str, str], float]
+    ) -> float:
+        """R_C of this configuration under the paper's independence model."""
+        return combined_reliability(
+            [o.reliability for o in self.opportunities(opportunity_table)]
+        )
+
+
+def uniform_opportunity_table(
+    tag_reliabilities: Mapping[str, float], antenna_ids: Sequence[str]
+) -> Dict[Tuple[str, str], float]:
+    """Table where every antenna sees each tag with the same reliability.
+
+    The paper's R_C columns are computed this way: the per-placement
+    reliabilities of Section 3 reused for each antenna of the portal.
+    """
+    if not antenna_ids:
+        raise ValueError("need at least one antenna id")
+    return {
+        (tag, antenna): p
+        for tag, p in tag_reliabilities.items()
+        for antenna in antenna_ids
+    }
+
+
+def marginal_gain(current: Sequence[float], additional: float) -> float:
+    """Reliability gained by adding one more opportunity.
+
+    Useful for planners deciding whether another tag is worth its cost:
+    the marginal gain shrinks geometrically with each addition.
+    """
+    before = combined_reliability(current) if current else 0.0
+    after = combined_reliability(list(current) + [additional])
+    return after - before

@@ -1,0 +1,238 @@
+"""Experiment report assembly.
+
+The benchmark harness writes each regenerated table/figure to
+``benchmarks/results/<id>.txt``; this module assembles those artefacts
+into the ``EXPERIMENTS.md`` record (paper-vs-measured for every table
+and figure), so the document always reflects an actual benchmark run
+rather than hand-copied numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Experiment registry: (result-file stem, paper artefact, one-line gloss).
+EXPERIMENT_INDEX: Tuple[Tuple[str, str, str], ...] = (
+    (
+        "fig2_read_range",
+        "Figure 2",
+        "Read reliability vs tag-antenna distance (20-tag plane, single reads).",
+    ),
+    (
+        "fig4_orientation_spacing",
+        "Figure 4",
+        "Tags read vs inter-tag spacing x orientation; minimum safe distance.",
+    ),
+    (
+        "table1_object_location",
+        "Table 1",
+        "Read reliability per tag location on router boxes.",
+    ),
+    (
+        "table2_human_location",
+        "Table 2",
+        "Read reliability per waist placement, one and two subjects.",
+    ),
+    (
+        "table3_fig5_object_redundancy",
+        "Table 3 / Figure 5",
+        "Object-tracking redundancy: R_M vs R_C per configuration.",
+    ),
+    (
+        "table4_human_1antenna",
+        "Table 4",
+        "Human-tracking redundancy with one antenna (2 and 4 tags).",
+    ),
+    (
+        "table5_human_2antennas",
+        "Table 5",
+        "Human-tracking redundancy with two antennas (1, 2 and 4 tags).",
+    ),
+    (
+        "fig6_one_subject",
+        "Figure 6",
+        "One-subject tracking summary, measured vs calculated.",
+    ),
+    (
+        "fig7_two_subjects",
+        "Figure 7",
+        "Two-subject tracking summary, measured vs calculated.",
+    ),
+    (
+        "sec4_reader_redundancy",
+        "Section 4 (text)",
+        "Reader-level redundancy backfires without dense-reader mode.",
+    ),
+    (
+        "sec4_antenna_tdma_cost",
+        "Section 4 (text)",
+        "TDMA cost of a second antenna without blocking; gain with it.",
+    ),
+    (
+        "sec4_read_timing",
+        "Section 4 (text)",
+        "Air-interface throughput vs the paper's ~0.02 s/tag budget.",
+    ),
+    (
+        "ablation_correlation",
+        "Ablation",
+        "Effective correlation of antenna vs tag read opportunities.",
+    ),
+    (
+        "ablation_loss_sources",
+        "Ablation",
+        "Physical vs protocol losses (genie-channel comparison).",
+    ),
+    (
+        "ablation_fading",
+        "Ablation",
+        "Redundancy conclusion across Rician K-factors.",
+    ),
+    (
+        "ablation_protocols",
+        "Ablation",
+        "Gen 2 vs framed ALOHA vs binary tree against the physical ceiling.",
+    ),
+    (
+        "ablation_speed",
+        "Ablation",
+        "Carrier speed vs reliability (dwell starvation).",
+    ),
+    (
+        "related_materials",
+        "Related work [12]",
+        "Read reliability per tagged content material (conveyor workload).",
+    ),
+    (
+        "related_read_zone",
+        "Deployment",
+        "Monte-Carlo read-zone map of the baseline portal.",
+    ),
+    (
+        "extension_false_positives",
+        "Extension",
+        "False positives from an ambient zone; power/distance/Select remedies.",
+    ),
+    (
+        "extension_constraints",
+        "Extension",
+        "Software constraint correction vs (and with) physical redundancy.",
+    ),
+    (
+        "extension_active_tags",
+        "Extension",
+        "Active tags (the paper's stated future work): reliability vs battery.",
+    ),
+    (
+        "extension_localization",
+        "Extension",
+        "LANDMARC RSSI localization (ref [11]): accuracy vs grid and noise.",
+    ),
+    (
+        "extension_tag_designs",
+        "Extension",
+        "Alternative tag designs vs the paper's placements and economics.",
+    ),
+    (
+        "extension_cascade",
+        "Extension",
+        "Cascaded macro tags vs identical-tag redundancy (marginal vs bursty).",
+    ),
+)
+
+
+@dataclass(frozen=True)
+class ExperimentArtifact:
+    """One result file resolved against the registry."""
+
+    stem: str
+    paper_ref: str
+    gloss: str
+    content: Optional[str]
+
+    @property
+    def available(self) -> bool:
+        return self.content is not None
+
+
+def load_artifacts(results_dir: str) -> List[ExperimentArtifact]:
+    """Read every registered result file (missing ones flagged)."""
+    artifacts = []
+    for stem, paper_ref, gloss in EXPERIMENT_INDEX:
+        path = os.path.join(results_dir, f"{stem}.txt")
+        content: Optional[str] = None
+        if os.path.isfile(path):
+            with open(path, "r", encoding="utf-8") as handle:
+                content = handle.read().rstrip()
+        artifacts.append(ExperimentArtifact(stem, paper_ref, gloss, content))
+    return artifacts
+
+
+def render_experiments_md(
+    artifacts: Sequence[ExperimentArtifact],
+    preamble: str = "",
+) -> str:
+    """Assemble the EXPERIMENTS.md body from loaded artefacts."""
+    lines: List[str] = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Generated from `benchmarks/results/` by "
+        "`python -m repro.core.report` after running "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    if preamble:
+        lines += [preamble, ""]
+    missing = [a for a in artifacts if not a.available]
+    if missing:
+        lines.append("**Missing artefacts (benchmarks not yet run):** "
+                     + ", ".join(a.stem for a in missing))
+        lines.append("")
+    for artifact in artifacts:
+        lines.append(f"## {artifact.paper_ref} — {artifact.gloss}")
+        lines.append("")
+        if artifact.available:
+            lines.append("```")
+            lines.append(artifact.content or "")
+            lines.append("```")
+        else:
+            lines.append("*(no result recorded yet)*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_experiments_md(
+    results_dir: str, output_path: str, preamble: str = ""
+) -> int:
+    """Assemble and write EXPERIMENTS.md; returns artefacts included."""
+    artifacts = load_artifacts(results_dir)
+    text = render_experiments_md(artifacts, preamble=preamble)
+    with open(output_path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+    return sum(1 for a in artifacts if a.available)
+
+
+def main() -> None:
+    """CLI: rebuild EXPERIMENTS.md from the repo's benchmark results."""
+    repo_root = os.path.dirname(
+        os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+    )
+    results_dir = os.path.join(repo_root, "benchmarks", "results")
+    output = os.path.join(repo_root, "EXPERIMENTS.md")
+    preamble = (
+        "Absolute percentages are not expected to match the paper exactly "
+        "(our substrate is a calibrated simulator, not the authors' lab); "
+        "the claims under reproduction are the *shapes*: orderings, "
+        "crossovers, which scheme wins and by roughly what factor. Each "
+        "benchmark asserts those shapes; this file records the raw rows."
+    )
+    count = write_experiments_md(results_dir, output, preamble=preamble)
+    print(f"EXPERIMENTS.md written with {count} artefacts from {results_dir}")
+
+
+if __name__ == "__main__":
+    main()

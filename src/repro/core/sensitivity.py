@@ -1,0 +1,124 @@
+"""Parameter sensitivity analysis for calibrated models.
+
+The calibration in :mod:`repro.core.calibration` pins a handful of
+physical parameters the paper never reported. A reproduction is only
+trustworthy if its conclusions do not hinge on those choices, so this
+module provides the tooling to quantify that: perturb one parameter at
+a time, re-evaluate a metric, and report elasticities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+#: A metric: maps a parameter assignment to a scalar outcome.
+MetricFn = Callable[[Mapping[str, float]], float]
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One tunable parameter and its plausible range."""
+
+    name: str
+    nominal: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not self.low <= self.nominal <= self.high:
+            raise ValueError(
+                f"{self.name}: nominal {self.nominal} outside "
+                f"[{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Metric response to one parameter's excursion."""
+
+    parameter: str
+    metric_nominal: float
+    metric_low: float
+    metric_high: float
+
+    @property
+    def swing(self) -> float:
+        """Total metric movement across the parameter's range."""
+        return abs(self.metric_high - self.metric_low)
+
+    @property
+    def elasticity(self) -> float:
+        """Swing normalised by the nominal metric (0 if nominal is 0)."""
+        if self.metric_nominal == 0.0:
+            return float("inf") if self.swing > 0 else 0.0
+        return self.swing / abs(self.metric_nominal)
+
+
+def one_at_a_time(
+    specs: Sequence[ParameterSpec],
+    metric: MetricFn,
+) -> List[SensitivityResult]:
+    """Classic OAT sweep: hold everything nominal, excursion one knob.
+
+    Returns results sorted by swing, largest first — the parameters the
+    conclusion actually depends on float to the top.
+    """
+    if not specs:
+        raise ValueError("need at least one parameter")
+    names = [s.name for s in specs]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate parameter names: {names}")
+    nominal = {s.name: s.nominal for s in specs}
+    base = metric(nominal)
+    results = []
+    for spec in specs:
+        low_point = dict(nominal)
+        low_point[spec.name] = spec.low
+        high_point = dict(nominal)
+        high_point[spec.name] = spec.high
+        results.append(
+            SensitivityResult(
+                parameter=spec.name,
+                metric_nominal=base,
+                metric_low=metric(low_point),
+                metric_high=metric(high_point),
+            )
+        )
+    return sorted(results, key=lambda r: r.swing, reverse=True)
+
+
+def tornado_rows(
+    results: Sequence[SensitivityResult],
+) -> List[Tuple[str, float, float]]:
+    """(parameter, delta_low, delta_high) rows for a tornado chart."""
+    return [
+        (
+            r.parameter,
+            r.metric_low - r.metric_nominal,
+            r.metric_high - r.metric_nominal,
+        )
+        for r in results
+    ]
+
+
+def conclusion_robust(
+    results: Sequence[SensitivityResult],
+    predicate: Callable[[float], bool],
+) -> bool:
+    """Does a qualitative conclusion hold at every excursion?
+
+    ``predicate`` tests the metric (e.g. ``lambda m: m >= 0.9``); the
+    conclusion is robust when nominal, low, and high all satisfy it for
+    every parameter.
+    """
+    if not results:
+        raise ValueError("need at least one result")
+    for r in results:
+        if not (
+            predicate(r.metric_nominal)
+            and predicate(r.metric_low)
+            and predicate(r.metric_high)
+        ):
+            return False
+    return True

@@ -1,0 +1,290 @@
+"""Gen 2 reader-command frame encoding and decoding.
+
+The inventory simulator (:mod:`repro.protocol.gen2`) works at the
+slot-outcome level; this module provides the actual bit-level frames so
+the library can also serve as a protocol reference: Query (with CRC-5),
+QueryRep, QueryAdjust, ACK, NAK, and Select (with CRC-16), exactly as
+EPCglobal Class-1 Gen-2 lays them out.
+
+All encoders return MSB-first bit lists; decoders validate structure
+and checksums and raise :class:`CommandError` on any malformation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .crc import bits_to_int, crc5, crc16, int_to_bits
+
+
+class CommandError(ValueError):
+    """Raised when a frame cannot be encoded or decoded."""
+
+
+class Session(enum.IntEnum):
+    """Gen 2 inventory sessions."""
+
+    S0 = 0
+    S1 = 1
+    S2 = 2
+    S3 = 3
+
+
+class Target(enum.IntEnum):
+    """Inventoried-flag target of a Query."""
+
+    A = 0
+    B = 1
+
+
+class DivideRatio(enum.IntEnum):
+    """Query DR field: BLF = DR / TRcal."""
+
+    DR_8 = 0
+    DR_64_3 = 1
+
+
+class TagEncoding(enum.IntEnum):
+    """Query M field: tag-to-reader modulation."""
+
+    FM0 = 0
+    MILLER_2 = 1
+    MILLER_4 = 2
+    MILLER_8 = 3
+
+
+#: 4-bit command codes (QueryRep/ACK use 2 bits, Query uses 4 bits,
+#: Select 4 bits, NAK 8 bits) per the Gen 2 spec.
+QUERY_CODE = (1, 0, 0, 0)
+QUERY_REP_CODE = (0, 0)
+QUERY_ADJUST_CODE = (1, 0, 0, 1)
+ACK_CODE = (0, 1)
+NAK_CODE = (1, 1, 0, 0, 0, 0, 0, 0)
+SELECT_CODE = (1, 0, 1, 0)
+
+
+@dataclass(frozen=True)
+class QueryCommand:
+    """A Gen 2 Query: opens an inventory round.
+
+    Fields follow the spec's order; ``q`` sets the frame to ``2^q``
+    slots.
+    """
+
+    dr: DivideRatio = DivideRatio.DR_8
+    m: TagEncoding = TagEncoding.MILLER_4
+    trext: bool = False
+    sel: int = 0
+    session: Session = Session.S1
+    target: Target = Target.A
+    q: int = 4
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.q <= 15:
+            raise CommandError(f"Q must be 0-15, got {self.q!r}")
+        if not 0 <= self.sel <= 3:
+            raise CommandError(f"Sel must be 0-3, got {self.sel!r}")
+
+    def to_bits(self) -> List[int]:
+        """22-bit frame: 4 code + 13 payload + 5 CRC-5."""
+        bits: List[int] = list(QUERY_CODE)
+        bits += int_to_bits(int(self.dr), 1)
+        bits += int_to_bits(int(self.m), 2)
+        bits += int_to_bits(1 if self.trext else 0, 1)
+        bits += int_to_bits(self.sel, 2)
+        bits += int_to_bits(int(self.session), 2)
+        bits += int_to_bits(int(self.target), 1)
+        bits += int_to_bits(self.q, 4)
+        bits += int_to_bits(crc5(bits), 5)
+        assert len(bits) == 22
+        return bits
+
+    @staticmethod
+    def from_bits(bits: Sequence[int]) -> "QueryCommand":
+        """Decode and checksum-verify a Query frame."""
+        if len(bits) != 22:
+            raise CommandError(f"Query frame must be 22 bits, got {len(bits)}")
+        if tuple(bits[0:4]) != QUERY_CODE:
+            raise CommandError("not a Query frame (bad command code)")
+        payload, crc_bits = list(bits[:17]), bits[17:]
+        if crc5(payload) != bits_to_int(crc_bits):
+            raise CommandError("Query CRC-5 mismatch")
+        return QueryCommand(
+            dr=DivideRatio(bits_to_int(bits[4:5])),
+            m=TagEncoding(bits_to_int(bits[5:7])),
+            trext=bool(bits[7]),
+            sel=bits_to_int(bits[8:10]),
+            session=Session(bits_to_int(bits[10:12])),
+            target=Target(bits[12]),
+            q=bits_to_int(bits[13:17]),
+        )
+
+
+@dataclass(frozen=True)
+class QueryRepCommand:
+    """QueryRep: advance to the next slot of the current session."""
+
+    session: Session = Session.S1
+
+    def to_bits(self) -> List[int]:
+        return list(QUERY_REP_CODE) + int_to_bits(int(self.session), 2)
+
+    @staticmethod
+    def from_bits(bits: Sequence[int]) -> "QueryRepCommand":
+        if len(bits) != 4 or tuple(bits[0:2]) != QUERY_REP_CODE:
+            raise CommandError("not a QueryRep frame")
+        return QueryRepCommand(session=Session(bits_to_int(bits[2:4])))
+
+
+@dataclass(frozen=True)
+class QueryAdjustCommand:
+    """QueryAdjust: nudge Q up/down/unchanged mid-round."""
+
+    session: Session = Session.S1
+    updn: int = 0  # +1 (110b), 0 (000b), -1 (011b) per spec
+
+    _UPDN_BITS = {1: (1, 1, 0), 0: (0, 0, 0), -1: (0, 1, 1)}
+
+    def __post_init__(self) -> None:
+        if self.updn not in self._UPDN_BITS:
+            raise CommandError(f"UpDn must be -1, 0 or +1, got {self.updn!r}")
+
+    def to_bits(self) -> List[int]:
+        return (
+            list(QUERY_ADJUST_CODE)
+            + int_to_bits(int(self.session), 2)
+            + list(self._UPDN_BITS[self.updn])
+        )
+
+    @staticmethod
+    def from_bits(bits: Sequence[int]) -> "QueryAdjustCommand":
+        if len(bits) != 9 or tuple(bits[0:4]) != QUERY_ADJUST_CODE:
+            raise CommandError("not a QueryAdjust frame")
+        updn_bits = tuple(bits[6:9])
+        for updn, pattern in QueryAdjustCommand._UPDN_BITS.items():
+            if updn_bits == pattern:
+                return QueryAdjustCommand(
+                    session=Session(bits_to_int(bits[4:6])), updn=updn
+                )
+        raise CommandError(f"invalid UpDn bits {updn_bits}")
+
+
+@dataclass(frozen=True)
+class AckCommand:
+    """ACK: acknowledge an RN16 so the tag backscatters its EPC."""
+
+    rn16: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.rn16 <= 0xFFFF:
+            raise CommandError(f"RN16 out of range: {self.rn16!r}")
+
+    def to_bits(self) -> List[int]:
+        return list(ACK_CODE) + int_to_bits(self.rn16, 16)
+
+    @staticmethod
+    def from_bits(bits: Sequence[int]) -> "AckCommand":
+        if len(bits) != 18 or tuple(bits[0:2]) != ACK_CODE:
+            raise CommandError("not an ACK frame")
+        return AckCommand(rn16=bits_to_int(bits[2:18]))
+
+
+@dataclass(frozen=True)
+class SelectCommand:
+    """Select: pre-filter the tag population by a memory mask.
+
+    Readers use Select to target a subpopulation (e.g. one pallet's
+    company prefix) before inventorying — the standard way to keep
+    airtime off irrelevant ambient tags.
+    """
+
+    target: int = 4      # 100b = SL flag; 0-3 address session flags
+    action: int = 0
+    mem_bank: int = 1    # EPC bank
+    pointer: int = 0x20  # bit address (skip CRC+PC: EPC starts at 0x20)
+    mask: Tuple[int, ...] = ()
+    truncate: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.target <= 7:
+            raise CommandError(f"target must be 0-7, got {self.target!r}")
+        if not 0 <= self.action <= 7:
+            raise CommandError(f"action must be 0-7, got {self.action!r}")
+        if not 0 <= self.mem_bank <= 3:
+            raise CommandError(f"mem bank must be 0-3, got {self.mem_bank!r}")
+        if not 0 <= self.pointer <= 0xFF:
+            raise CommandError(
+                f"pointer must fit in 8 bits (EBV-8), got {self.pointer!r}"
+            )
+        if len(self.mask) > 255:
+            raise CommandError("mask longer than 255 bits")
+        for bit in self.mask:
+            if bit not in (0, 1):
+                raise CommandError(f"mask bits must be 0/1, got {bit!r}")
+
+    def to_bits(self) -> List[int]:
+        bits: List[int] = list(SELECT_CODE)
+        bits += int_to_bits(self.target, 3)
+        bits += int_to_bits(self.action, 3)
+        bits += int_to_bits(self.mem_bank, 2)
+        bits += int_to_bits(self.pointer, 8)
+        bits += int_to_bits(len(self.mask), 8)
+        bits += list(self.mask)
+        bits += int_to_bits(1 if self.truncate else 0, 1)
+        bits += int_to_bits(crc16(bits), 16)
+        return bits
+
+    @staticmethod
+    def from_bits(bits: Sequence[int]) -> "SelectCommand":
+        if len(bits) < 4 + 3 + 3 + 2 + 8 + 8 + 1 + 16:
+            raise CommandError("Select frame too short")
+        if tuple(bits[0:4]) != SELECT_CODE:
+            raise CommandError("not a Select frame")
+        mask_length = bits_to_int(bits[20:28])
+        expected = 4 + 3 + 3 + 2 + 8 + 8 + mask_length + 1 + 16
+        if len(bits) != expected:
+            raise CommandError(
+                f"Select frame length {len(bits)} != expected {expected}"
+            )
+        payload = list(bits[:-16])
+        if crc16(payload) != bits_to_int(bits[-16:]):
+            raise CommandError("Select CRC-16 mismatch")
+        mask = tuple(bits[28 : 28 + mask_length])
+        return SelectCommand(
+            target=bits_to_int(bits[4:7]),
+            action=bits_to_int(bits[7:10]),
+            mem_bank=bits_to_int(bits[10:12]),
+            pointer=bits_to_int(bits[12:20]),
+            mask=mask,
+            truncate=bool(bits[28 + mask_length]),
+        )
+
+
+def decode_command(bits: Sequence[int]):
+    """Dispatch a frame to the right decoder by its command code.
+
+    Returns the decoded command object.
+
+    Raises
+    ------
+    CommandError
+        If no known command matches.
+    """
+    prefix2 = tuple(bits[0:2])
+    prefix4 = tuple(bits[0:4])
+    prefix8 = tuple(bits[0:8])
+    if prefix8 == NAK_CODE and len(bits) == 8:
+        return "NAK"
+    if prefix4 == QUERY_CODE:
+        return QueryCommand.from_bits(bits)
+    if prefix4 == QUERY_ADJUST_CODE:
+        return QueryAdjustCommand.from_bits(bits)
+    if prefix4 == SELECT_CODE:
+        return SelectCommand.from_bits(bits)
+    if prefix2 == QUERY_REP_CODE:
+        return QueryRepCommand.from_bits(bits)
+    if prefix2 == ACK_CODE:
+        return AckCommand.from_bits(bits)
+    raise CommandError(f"unknown command prefix {prefix4}")

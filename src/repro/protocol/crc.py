@@ -1,0 +1,100 @@
+"""CRC-5 and CRC-16 as specified by EPCglobal Class-1 Generation-2.
+
+Gen 2 protects Query commands with CRC-5 and EPC backscatter (PC + EPC
+bits) with CRC-16/CCITT (the X.25 variant: preset 0xFFFF, output
+complemented). The implementations operate on bit sequences because
+Gen 2 frames are not byte aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+#: Gen 2 CRC-5 polynomial x^5 + x^3 + 1, preset 01001b.
+CRC5_POLY = 0b01001
+CRC5_PRESET = 0b01001
+
+#: CCITT CRC-16 polynomial x^16 + x^12 + x^5 + 1.
+CRC16_POLY = 0x1021
+CRC16_PRESET = 0xFFFF
+
+
+def _require_bits(bits: Sequence[int]) -> None:
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bit sequence may contain only 0/1, got {b!r}")
+
+
+def crc5(bits: Sequence[int]) -> int:
+    """CRC-5 of a bit sequence, per Gen 2 Annex F."""
+    _require_bits(bits)
+    reg = CRC5_PRESET
+    for bit in bits:
+        msb = (reg >> 4) & 1
+        reg = ((reg << 1) & 0b11111) | 0
+        if msb ^ bit:
+            reg ^= CRC5_POLY
+    return reg
+
+
+def crc16(bits: Sequence[int]) -> int:
+    """CRC-16/CCITT of a bit sequence, complemented per Gen 2 Annex F."""
+    _require_bits(bits)
+    reg = CRC16_PRESET
+    for bit in bits:
+        msb = (reg >> 15) & 1
+        reg = (reg << 1) & 0xFFFF
+        if msb ^ bit:
+            reg ^= CRC16_POLY
+    return reg ^ 0xFFFF
+
+
+def crc16_bytes(data: bytes) -> int:
+    """CRC-16 of whole bytes (MSB-first bit order)."""
+    return crc16(bytes_to_bits(data))
+
+
+def bytes_to_bits(data: bytes) -> List[int]:
+    """Expand bytes into an MSB-first bit list."""
+    bits: List[int] = []
+    for byte in data:
+        for shift in range(7, -1, -1):
+            bits.append((byte >> shift) & 1)
+    return bits
+
+
+def bits_to_bytes(bits: Sequence[int]) -> bytes:
+    """Pack an MSB-first bit list (length divisible by 8) into bytes."""
+    _require_bits(bits)
+    if len(bits) % 8 != 0:
+        raise ValueError(f"bit count {len(bits)} is not a multiple of 8")
+    out = bytearray()
+    for i in range(0, len(bits), 8):
+        byte = 0
+        for bit in bits[i : i + 8]:
+            byte = (byte << 1) | bit
+        out.append(byte)
+    return bytes(out)
+
+
+def int_to_bits(value: int, width: int) -> List[int]:
+    """Fixed-width MSB-first bit list of a non-negative integer."""
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value!r}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> shift) & 1 for shift in range(width - 1, -1, -1)]
+
+
+def bits_to_int(bits: Sequence[int]) -> int:
+    """Integer value of an MSB-first bit list."""
+    _require_bits(bits)
+    value = 0
+    for bit in bits:
+        value = (value << 1) | bit
+    return value
+
+
+def verify_crc16(payload_bits: Sequence[int], crc_value: int) -> bool:
+    """True when ``crc_value`` matches the CRC-16 of ``payload_bits``."""
+    return crc16(payload_bits) == crc_value

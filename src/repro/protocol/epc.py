@@ -1,0 +1,193 @@
+"""EPC-96 identifier encoding and decoding (SGTIN-96 layout).
+
+The paper's tags carry "a unique 96 bit identification code". We
+implement the SGTIN-96 scheme, the dominant EPC layout for item-level
+tagging: an 8-bit header (0x30), 3-bit filter, 3-bit partition, then a
+company prefix / item reference split governed by the partition value,
+and a 38-bit serial number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .crc import bits_to_int, int_to_bits
+
+SGTIN96_HEADER = 0x30
+
+#: Partition table from the EPC Tag Data Standard: partition value ->
+#: (company prefix bits, company prefix digits, item reference bits,
+#: item reference digits).
+_PARTITIONS: Tuple[Tuple[int, int, int, int], ...] = (
+    (40, 12, 4, 1),
+    (37, 11, 7, 2),
+    (34, 10, 10, 3),
+    (30, 9, 14, 4),
+    (27, 8, 17, 5),
+    (24, 7, 20, 6),
+    (20, 6, 24, 7),
+)
+
+SERIAL_BITS = 38
+MAX_SERIAL = (1 << SERIAL_BITS) - 1
+
+
+class EpcError(ValueError):
+    """Raised for malformed EPC values."""
+
+
+@dataclass(frozen=True)
+class Sgtin96:
+    """A decoded SGTIN-96 EPC.
+
+    Attributes
+    ----------
+    filter_value:
+        3-bit logistic filter (0 = all others, 1 = POS item, ...).
+    partition:
+        Partition index selecting the company/item bit split.
+    company_prefix:
+        GS1 company prefix as an integer.
+    item_reference:
+        Item reference (with indicator digit) as an integer.
+    serial:
+        38-bit serial number.
+    """
+
+    filter_value: int
+    partition: int
+    company_prefix: int
+    item_reference: int
+    serial: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.filter_value < 8:
+            raise EpcError(f"filter value {self.filter_value} out of range 0-7")
+        if not 0 <= self.partition < len(_PARTITIONS):
+            raise EpcError(f"partition {self.partition} out of range 0-6")
+        cp_bits, _, ir_bits, _ = _PARTITIONS[self.partition]
+        if not 0 <= self.company_prefix < (1 << cp_bits):
+            raise EpcError(
+                f"company prefix {self.company_prefix} does not fit in "
+                f"{cp_bits} bits (partition {self.partition})"
+            )
+        if not 0 <= self.item_reference < (1 << ir_bits):
+            raise EpcError(
+                f"item reference {self.item_reference} does not fit in "
+                f"{ir_bits} bits (partition {self.partition})"
+            )
+        if not 0 <= self.serial <= MAX_SERIAL:
+            raise EpcError(f"serial {self.serial} does not fit in 38 bits")
+
+    def to_bits(self) -> List[int]:
+        """Encode to the 96-bit MSB-first representation."""
+        cp_bits, _, ir_bits, _ = _PARTITIONS[self.partition]
+        bits: List[int] = []
+        bits += int_to_bits(SGTIN96_HEADER, 8)
+        bits += int_to_bits(self.filter_value, 3)
+        bits += int_to_bits(self.partition, 3)
+        bits += int_to_bits(self.company_prefix, cp_bits)
+        bits += int_to_bits(self.item_reference, ir_bits)
+        bits += int_to_bits(self.serial, SERIAL_BITS)
+        assert len(bits) == 96
+        return bits
+
+    def to_hex(self) -> str:
+        """24-hex-digit canonical form (e.g. ``"30..."``)."""
+        return f"{bits_to_int(self.to_bits()):024X}"
+
+    def to_uri(self) -> str:
+        """EPC pure-identity URI, ``urn:epc:id:sgtin:...``."""
+        _, cp_digits, _, ir_digits = _PARTITIONS[self.partition]
+        return (
+            "urn:epc:id:sgtin:"
+            f"{self.company_prefix:0{cp_digits}d}."
+            f"{self.item_reference:0{ir_digits}d}."
+            f"{self.serial}"
+        )
+
+    @staticmethod
+    def from_bits(bits: List[int]) -> "Sgtin96":
+        """Decode a 96-bit MSB-first representation.
+
+        Raises
+        ------
+        EpcError
+            On wrong length, wrong header, or invalid partition.
+        """
+        if len(bits) != 96:
+            raise EpcError(f"EPC-96 requires 96 bits, got {len(bits)}")
+        header = bits_to_int(bits[0:8])
+        if header != SGTIN96_HEADER:
+            raise EpcError(
+                f"not an SGTIN-96 (header {header:#04x}, expected "
+                f"{SGTIN96_HEADER:#04x})"
+            )
+        filter_value = bits_to_int(bits[8:11])
+        partition = bits_to_int(bits[11:14])
+        if partition >= len(_PARTITIONS):
+            raise EpcError(f"invalid partition value {partition}")
+        cp_bits, _, ir_bits, _ = _PARTITIONS[partition]
+        pos = 14
+        company_prefix = bits_to_int(bits[pos : pos + cp_bits])
+        pos += cp_bits
+        item_reference = bits_to_int(bits[pos : pos + ir_bits])
+        pos += ir_bits
+        serial = bits_to_int(bits[pos : pos + SERIAL_BITS])
+        return Sgtin96(filter_value, partition, company_prefix, item_reference, serial)
+
+    @staticmethod
+    def from_hex(hex_string: str) -> "Sgtin96":
+        """Decode the 24-hex-digit canonical form."""
+        text = hex_string.strip()
+        if len(text) != 24:
+            raise EpcError(
+                f"EPC-96 hex form requires 24 digits, got {len(text)}"
+            )
+        try:
+            value = int(text, 16)
+        except ValueError:
+            raise EpcError(f"invalid hex EPC {hex_string!r}") from None
+        bits = int_to_bits(value, 96)
+        return Sgtin96.from_bits(bits)
+
+
+class EpcFactory:
+    """Hands out unique sequential EPCs for simulated tag populations."""
+
+    def __init__(
+        self,
+        company_prefix: int = 614141,
+        item_reference: int = 812345,
+        partition: int = 5,
+        filter_value: int = 1,
+    ) -> None:
+        self._template = Sgtin96(
+            filter_value=filter_value,
+            partition=partition,
+            company_prefix=company_prefix,
+            item_reference=item_reference,
+            serial=0,
+        )
+        self._next_serial = 0
+
+    def next_epc(self) -> Sgtin96:
+        """The next unique EPC in the sequence."""
+        if self._next_serial > MAX_SERIAL:
+            raise EpcError("serial space exhausted")
+        epc = Sgtin96(
+            self._template.filter_value,
+            self._template.partition,
+            self._template.company_prefix,
+            self._template.item_reference,
+            self._next_serial,
+        )
+        self._next_serial += 1
+        return epc
+
+    def batch(self, count: int) -> List[Sgtin96]:
+        """``count`` unique EPCs."""
+        if count < 0:
+            raise EpcError(f"count must be non-negative, got {count!r}")
+        return [self.next_epc() for _ in range(count)]

@@ -1,0 +1,127 @@
+"""Tag-population estimation from frame statistics.
+
+Anti-collision performance hinges on knowing how many tags are
+contending. Two classic estimators are provided:
+
+* **Vogt's estimators** (lower bound and chi-square-style minimum
+  distance) from frame (empty, success, collision) counts;
+* a **probabilistic zero-slot estimator** in the spirit of Kodialam &
+  Nandagopal (MOBICOM'06): invert the expected fraction of empty slots
+  of a frame of known size to estimate the population without reading
+  any tag — fast cardinality estimation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+
+def vogt_lower_bound(success: int, collision: int) -> float:
+    """Vogt's lower bound: every collision hides at least two tags."""
+    if success < 0 or collision < 0:
+        raise ValueError("slot counts must be non-negative")
+    return float(success + 2 * collision)
+
+
+def _expected_outcome(n: float, frame: int) -> Tuple[float, float, float]:
+    """Expected (empty, success, collision) counts for ``n`` tags in ``frame`` slots.
+
+    Uses the binomial occupancy model: a slot is empty w.p.
+    ``(1 - 1/N)^n`` and a success w.p. ``n/N (1 - 1/N)^(n-1)``.
+    """
+    if frame < 1:
+        raise ValueError(f"frame must be >= 1, got {frame!r}")
+    if n < 0:
+        raise ValueError(f"tag count must be non-negative, got {n!r}")
+    p_empty = (1.0 - 1.0 / frame) ** n
+    if n >= 1:
+        p_success = (n / frame) * (1.0 - 1.0 / frame) ** (n - 1.0)
+    else:
+        p_success = 0.0
+    p_collision = max(0.0, 1.0 - p_empty - p_success)
+    return frame * p_empty, frame * p_success, frame * p_collision
+
+
+def vogt_estimate(empty: int, success: int, collision: int) -> float:
+    """Vogt's minimum-distance estimate of the contending population.
+
+    Scans candidate populations and returns the one whose expected
+    (empty, success, collision) vector is closest (L2) to the observed
+    one; falls back to the lower bound when the frame saw nothing.
+    """
+    if min(empty, success, collision) < 0:
+        raise ValueError("slot counts must be non-negative")
+    frame = empty + success + collision
+    if frame == 0:
+        return 0.0
+    observed = (float(empty), float(success), float(collision))
+    lower = vogt_lower_bound(success, collision)
+    if collision == 0:
+        return float(success)
+    best_n = lower
+    best_dist = float("inf")
+    # Candidate range: the lower bound up to a generous multiple of the
+    # frame (beyond ~4x frame the expected-vector distance is monotone).
+    upper = max(int(lower) + 1, 4 * frame)
+    for n in range(max(int(lower), 1), upper + 1):
+        expected = _expected_outcome(float(n), frame)
+        dist = sum((o - e) ** 2 for o, e in zip(observed, expected))
+        if dist < best_dist:
+            best_dist = dist
+            best_n = float(n)
+    return best_n
+
+
+def zero_slot_estimate(frame_size: int, empty_slots: int) -> float:
+    """Cardinality estimate from the empty-slot fraction alone.
+
+    Kodialam-style: ``E[empty fraction] = (1 - 1/N)^n``, so
+    ``n = ln(z) / ln(1 - 1/N)`` where ``z`` is the observed empty
+    fraction. Needs no tag decoding at all, which is what makes these
+    estimators "fast and reliable" for monitoring applications.
+
+    Returns ``inf`` when no slot was empty (population saturates the
+    frame) and ``0`` when all were.
+    """
+    if frame_size < 2:
+        raise ValueError(f"frame size must be >= 2, got {frame_size!r}")
+    if not 0 <= empty_slots <= frame_size:
+        raise ValueError(
+            f"empty slots {empty_slots} out of range 0..{frame_size}"
+        )
+    if empty_slots == frame_size:
+        return 0.0
+    if empty_slots == 0:
+        return float("inf")
+    z = empty_slots / frame_size
+    return math.log(z) / math.log(1.0 - 1.0 / frame_size)
+
+
+def averaged_zero_slot_estimate(
+    frame_size: int, empty_counts: Sequence[int]
+) -> float:
+    """Average the zero-slot estimator over repeated probe frames.
+
+    Repeating small probe frames and averaging tightens the variance
+    roughly as 1/sqrt(trials), the core trick of probabilistic RFID
+    cardinality estimation.
+    """
+    if not empty_counts:
+        raise ValueError("need at least one probe frame")
+    finite = [
+        zero_slot_estimate(frame_size, e)
+        for e in empty_counts
+        if e > 0
+    ]
+    if not finite:
+        return float("inf")
+    return sum(finite) / len(finite)
+
+
+def collision_fraction(empty: int, success: int, collision: int) -> float:
+    """Observed collision fraction of a frame (0 for an empty frame)."""
+    total = empty + success + collision
+    if total == 0:
+        return 0.0
+    return collision / total

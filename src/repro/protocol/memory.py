@@ -1,0 +1,197 @@
+"""Gen 2 tag memory: the four banks, word addressing, and locks.
+
+Completes the tag-side substrate next to the state machine: Reserved
+(kill/access passwords), EPC (CRC + PC + EPC), TID (chip identity) and
+User banks, with word-granular Read/Write and the Lock command's
+pwd-write / permalock semantics. The paper's tags carry "a unique 96
+bit identification code and some asset related data" — the asset data
+lives in the User bank modelled here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .crc import crc16_bytes
+
+
+class MemoryBank(enum.IntEnum):
+    RESERVED = 0
+    EPC = 1
+    TID = 2
+    USER = 3
+
+
+class MemoryError(ValueError):
+    """Raised for invalid addresses or lock violations."""
+
+
+class LockState(enum.Enum):
+    """Per-bank lock states from the Gen 2 Lock command."""
+
+    UNLOCKED = "unlocked"
+    PWD_WRITE = "pwd-write"          # writable only in Secured state
+    PERMALOCKED = "permalocked"      # never writable again
+    PERMAUNLOCKED = "permaunlocked"  # never lockable again
+
+
+@dataclass
+class TagMemory:
+    """Word-addressed (16-bit) tag memory with per-bank locks.
+
+    Sizes follow a typical 2006-era chip: 4 words reserved, 8 words EPC
+    bank (CRC + PC + 96-bit EPC), 2 words TID, 8 words user memory.
+    """
+
+    epc_hex: str
+    kill_password: int = 0
+    access_password: int = 0
+    tid: int = 0xE200_1234
+    user_words: int = 8
+    _banks: Dict[MemoryBank, List[int]] = field(default_factory=dict)
+    _locks: Dict[MemoryBank, LockState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.epc_hex) != 24:
+            raise MemoryError(
+                f"EPC must be 96 bits (24 hex digits), got {len(self.epc_hex)}"
+            )
+        epc_bytes = bytes.fromhex(self.epc_hex)
+        # StoredPC: EPC length in words (6) in the top 5 bits.
+        stored_pc = (6 & 0x1F) << 11
+        stored_crc = crc16_bytes(stored_pc.to_bytes(2, "big") + epc_bytes)
+        epc_words = [
+            int.from_bytes(epc_bytes[i : i + 2], "big") for i in range(0, 12, 2)
+        ]
+        self._banks = {
+            MemoryBank.RESERVED: [
+                (self.kill_password >> 16) & 0xFFFF,
+                self.kill_password & 0xFFFF,
+                (self.access_password >> 16) & 0xFFFF,
+                self.access_password & 0xFFFF,
+            ],
+            MemoryBank.EPC: [stored_crc, stored_pc] + epc_words,
+            MemoryBank.TID: [
+                (self.tid >> 16) & 0xFFFF,
+                self.tid & 0xFFFF,
+            ],
+            MemoryBank.USER: [0] * self.user_words,
+        }
+        self._locks = {bank: LockState.UNLOCKED for bank in MemoryBank}
+
+    # -- read/write ---------------------------------------------------------
+
+    def read_words(
+        self, bank: MemoryBank, word_ptr: int, count: int
+    ) -> List[int]:
+        """Read ``count`` words starting at ``word_ptr``.
+
+        Raises
+        ------
+        MemoryError
+            On out-of-bounds access (tags reply with an error code;
+            we surface it as an exception).
+        """
+        if count < 1:
+            raise MemoryError(f"word count must be >= 1, got {count!r}")
+        words = self._banks[bank]
+        if word_ptr < 0 or word_ptr + count > len(words):
+            raise MemoryError(
+                f"read beyond bank {bank.name}: ptr={word_ptr} count={count} "
+                f"size={len(words)}"
+            )
+        return list(words[word_ptr : word_ptr + count])
+
+    def write_word(
+        self,
+        bank: MemoryBank,
+        word_ptr: int,
+        value: int,
+        secured: bool = False,
+    ) -> None:
+        """Write one word, honouring the bank's lock state.
+
+        ``secured`` indicates the interrogator holds the Secured state
+        (knows the access password).
+        """
+        if not 0 <= value <= 0xFFFF:
+            raise MemoryError(f"word value out of range: {value!r}")
+        lock = self._locks[bank]
+        if lock is LockState.PERMALOCKED:
+            raise MemoryError(f"bank {bank.name} is permalocked")
+        if lock is LockState.PWD_WRITE and not secured:
+            raise MemoryError(
+                f"bank {bank.name} is pwd-write locked; Secured state required"
+            )
+        words = self._banks[bank]
+        if word_ptr < 0 or word_ptr >= len(words):
+            raise MemoryError(
+                f"write beyond bank {bank.name}: ptr={word_ptr} "
+                f"size={len(words)}"
+            )
+        words[word_ptr] = value
+
+    # -- locks ----------------------------------------------------------------
+
+    def lock(self, bank: MemoryBank, state: LockState, secured: bool) -> None:
+        """Apply a Lock action to a bank (requires Secured state)."""
+        if not secured:
+            raise MemoryError("Lock requires the Secured state")
+        current = self._locks[bank]
+        if current is LockState.PERMALOCKED:
+            raise MemoryError(f"bank {bank.name} is permalocked")
+        if current is LockState.PERMAUNLOCKED and state in (
+            LockState.PWD_WRITE,
+            LockState.PERMALOCKED,
+        ):
+            raise MemoryError(f"bank {bank.name} is permaunlocked")
+        self._locks[bank] = state
+
+    def lock_state(self, bank: MemoryBank) -> LockState:
+        return self._locks[bank]
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def stored_epc_hex(self) -> str:
+        """The EPC as currently stored (writable tags can be re-encoded)."""
+        words = self._banks[MemoryBank.EPC][2:8]
+        return "".join(f"{w:04X}" for w in words)
+
+    def reencode(self, new_epc_hex: str, secured: bool = False) -> None:
+        """Rewrite the EPC words and refresh the stored CRC."""
+        if len(new_epc_hex) != 24:
+            raise MemoryError("new EPC must be 24 hex digits")
+        try:
+            new_bytes = bytes.fromhex(new_epc_hex)
+        except ValueError:
+            raise MemoryError(f"invalid EPC hex {new_epc_hex!r}") from None
+        for i in range(6):
+            word = int.from_bytes(new_bytes[2 * i : 2 * i + 2], "big")
+            self.write_word(MemoryBank.EPC, 2 + i, word, secured=secured)
+        stored_pc = self._banks[MemoryBank.EPC][1]
+        self._banks[MemoryBank.EPC][0] = crc16_bytes(
+            stored_pc.to_bytes(2, "big") + new_bytes
+        )
+
+    def write_user_data(
+        self, data: bytes, secured: bool = False
+    ) -> None:
+        """Store asset-related data in the User bank (zero-padded)."""
+        if len(data) > 2 * self.user_words:
+            raise MemoryError(
+                f"user data of {len(data)} bytes exceeds "
+                f"{2 * self.user_words}-byte bank"
+            )
+        padded = data + b"\x00" * (2 * self.user_words - len(data))
+        for i in range(self.user_words):
+            word = int.from_bytes(padded[2 * i : 2 * i + 2], "big")
+            self.write_word(MemoryBank.USER, i, word, secured=secured)
+
+    def read_user_data(self) -> bytes:
+        """The User bank contents as bytes."""
+        return b"".join(
+            w.to_bytes(2, "big") for w in self._banks[MemoryBank.USER]
+        )

@@ -1,0 +1,114 @@
+"""Population filtering via Gen 2 Select (mask matching).
+
+Given a :class:`~repro.protocol.commands.SelectCommand` and a tag
+population, this module computes which tags assert/deassert their
+selected flag — i.e. which tags a subsequent Query with ``sel`` set
+will inventory. Readers use this to keep a busy dock door's airtime
+off ambient tags (a neighbouring lane's pallets), the deployment-side
+fix for the paper's false-positive concern.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+from .commands import CommandError, SelectCommand
+from .crc import bytes_to_bits
+
+#: Bit address where the 96-bit EPC starts inside the EPC memory bank
+#: (after the 16-bit StoredCRC and 16-bit StoredPC words).
+EPC_BANK_OFFSET_BITS = 0x20
+
+
+class SelectError(ValueError):
+    """Raised for unsupported Select evaluations."""
+
+
+def _epc_bank_bits(epc_hex: str) -> List[int]:
+    """EPC memory-bank contents from the EPC word onward (bit list)."""
+    try:
+        raw = bytes.fromhex(epc_hex)
+    except ValueError:
+        raise SelectError(f"invalid EPC hex {epc_hex!r}") from None
+    return bytes_to_bits(raw)
+
+
+def tag_matches(select: SelectCommand, epc_hex: str) -> bool:
+    """Does a tag with this EPC match the Select mask?
+
+    Only EPC-bank (bank 1) masks are supported — the only bank our
+    simulated tags populate. The pointer is an absolute bit address in
+    the bank; the EPC itself begins at ``EPC_BANK_OFFSET_BITS``.
+    """
+    if select.mem_bank != 1:
+        raise SelectError(
+            f"only EPC bank (1) masks are supported, got bank {select.mem_bank}"
+        )
+    if not select.mask:
+        return True
+    start = select.pointer - EPC_BANK_OFFSET_BITS
+    if start < 0:
+        # Mask reaches into StoredCRC/StoredPC, which we do not model.
+        raise SelectError(
+            f"pointer {select.pointer:#x} addresses PC/CRC words; "
+            f"EPC starts at {EPC_BANK_OFFSET_BITS:#x}"
+        )
+    bits = _epc_bank_bits(epc_hex)
+    end = start + len(select.mask)
+    if end > len(bits):
+        return False  # mask runs past the EPC: no match, per spec
+    return tuple(bits[start:end]) == tuple(select.mask)
+
+
+def mask_for_prefix_hex(prefix_hex: str) -> SelectCommand:
+    """A Select matching every EPC that starts with ``prefix_hex``.
+
+    Convenience for the common "select this product family" case.
+    """
+    if not prefix_hex:
+        raise SelectError("prefix must be non-empty")
+    try:
+        nibbles = [int(c, 16) for c in prefix_hex]
+    except ValueError:
+        raise SelectError(f"invalid hex prefix {prefix_hex!r}") from None
+    mask: List[int] = []
+    for nibble in nibbles:
+        mask.extend((nibble >> shift) & 1 for shift in (3, 2, 1, 0))
+    return SelectCommand(
+        mem_bank=1, pointer=EPC_BANK_OFFSET_BITS, mask=tuple(mask)
+    )
+
+
+@dataclass
+class SelectionState:
+    """Selected-flag store across a population.
+
+    Applies Select actions 0 (assert matching / deassert non-matching)
+    and 4 (deassert matching / assert non-matching) — the two actions
+    portal readers actually use; the other six manipulate session flags
+    and are out of scope for the SL-flag workflow modelled here.
+    """
+
+    selected: Set[str] = field(default_factory=set)
+
+    def apply(self, select: SelectCommand, population: Iterable[str]) -> None:
+        """Update the SL flags of ``population`` per the command."""
+        if select.action not in (0, 4):
+            raise SelectError(
+                f"unsupported Select action {select.action}; use 0 or 4"
+            )
+        for epc in population:
+            matches = tag_matches(select, epc)
+            asserts = matches if select.action == 0 else not matches
+            if asserts:
+                self.selected.add(epc)
+            else:
+                self.selected.discard(epc)
+
+    def filter(self, population: Sequence[str]) -> List[str]:
+        """The sub-population a sel=SL Query would inventory."""
+        return [epc for epc in population if epc in self.selected]
+
+    def reset(self) -> None:
+        self.selected.clear()

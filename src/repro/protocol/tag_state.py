@@ -1,0 +1,219 @@
+"""The Gen 2 tag-side state machine.
+
+EPCglobal Class-1 Gen-2 tags move through seven states — Ready,
+Arbitrate, Reply, Acknowledged, Open, Secured, Killed — driven by
+reader commands and their own slot counters. The inventory simulator
+in :mod:`repro.protocol.gen2` abstracts this away for speed; this
+module implements the machine faithfully for protocol-level testing,
+conformance exploration, and as executable documentation of *why* the
+abstractions in ``gen2.py`` are sound (see the equivalence test in
+``tests/protocol/test_tag_state.py``).
+
+Access/Kill passwords gate the Open/Secured/Killed states; the paper
+explicitly scopes out intentional tag destruction, so ``kill`` here
+exists to make the machine complete, not to model attacks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.rng import RandomStream
+from .commands import (
+    AckCommand,
+    QueryAdjustCommand,
+    QueryCommand,
+    QueryRepCommand,
+    Session,
+    Target,
+)
+
+
+class TagState(enum.Enum):
+    READY = "ready"
+    ARBITRATE = "arbitrate"
+    REPLY = "reply"
+    ACKNOWLEDGED = "acknowledged"
+    OPEN = "open"
+    SECURED = "secured"
+    KILLED = "killed"
+
+
+class TagStateError(RuntimeError):
+    """Raised on protocol-violating driver usage (not RF errors)."""
+
+
+@dataclass
+class Gen2TagMachine:
+    """One tag's protocol state, advanced by reader commands.
+
+    The machine does not model RF: callers decide whether a command
+    "reaches" the tag and whether the tag's reply "reaches" the reader.
+    ``energized`` gates everything — an unpowered tag is inert and
+    loses all non-persistent state.
+    """
+
+    epc: str
+    access_password: int = 0
+    kill_password: int = 0
+    energized: bool = True
+    state: TagState = TagState.READY
+    #: Inventoried flag per session: False = A, True = B.
+    inventoried_b: dict = field(default_factory=lambda: {s: False for s in Session})
+    selected: bool = False
+    _slot_counter: int = 0
+    _session: Optional[Session] = None
+    _rn16: Optional[int] = None
+
+    # -- power ------------------------------------------------------------
+
+    def power_up(self) -> None:
+        self.energized = True
+        self.state = TagState.READY if self.state is not TagState.KILLED else TagState.KILLED
+
+    def power_down(self) -> None:
+        """Field loss: S0 flags and all transient state reset.
+
+        S1 decays on its own timer (not modelled here); S2/S3 persist
+        while energized only, so they also reset on a true power loss.
+        """
+        self.energized = False
+        if self.state is not TagState.KILLED:
+            self.state = TagState.READY
+        self._rn16 = None
+        self._slot_counter = 0
+        self._session = None
+        self.inventoried_b[Session.S0] = False
+        self.inventoried_b[Session.S2] = False
+        self.inventoried_b[Session.S3] = False
+
+    # -- inventory --------------------------------------------------------
+
+    def _participates(self, query: QueryCommand) -> bool:
+        flag_b = self.inventoried_b[query.session]
+        target_b = query.target is Target.B
+        return flag_b == target_b
+
+    def on_query(self, query: QueryCommand, rng: RandomStream) -> Optional[int]:
+        """Handle a Query. Returns the RN16 backscattered, if any."""
+        if not self.energized or self.state is TagState.KILLED:
+            return None
+        self._session = query.session
+        if not self._participates(query):
+            self.state = TagState.READY
+            return None
+        self._slot_counter = rng.randint(0, (1 << query.q) - 1)
+        if self._slot_counter == 0:
+            self.state = TagState.REPLY
+            self._rn16 = rng.randint(0, 0xFFFF)
+            return self._rn16
+        self.state = TagState.ARBITRATE
+        return None
+
+    def on_query_rep(
+        self, command: QueryRepCommand, rng: RandomStream
+    ) -> Optional[int]:
+        """Handle a QueryRep. Returns an RN16 when the counter expires."""
+        if not self.energized or self.state is TagState.KILLED:
+            return None
+        if self._session is None or command.session != self._session:
+            return None
+        if self.state is TagState.ARBITRATE:
+            self._slot_counter -= 1
+            if self._slot_counter <= 0:
+                self.state = TagState.REPLY
+                self._rn16 = rng.randint(0, 0xFFFF)
+                return self._rn16
+            return None
+        if self.state in (TagState.REPLY, TagState.ACKNOWLEDGED):
+            # An un-ACKed replying tag that hears the next QueryRep
+            # returns to arbitrate with a fresh... per spec it goes to
+            # arbitrate with slot counter 0 decremented -> wraps to max;
+            # we model the observable effect: it stops replying this
+            # round. An ACKNOWLEDGED tag flips its inventoried flag.
+            if self.state is TagState.ACKNOWLEDGED:
+                self._flip_inventoried()
+            self.state = TagState.ARBITRATE
+            self._slot_counter = 1 << 15
+            return None
+        return None
+
+    def on_query_adjust(
+        self, command: QueryAdjustCommand, rng: RandomStream, new_q: int
+    ) -> Optional[int]:
+        """Handle QueryAdjust: redraw the slot counter for the new Q."""
+        if not self.energized or self.state is TagState.KILLED:
+            return None
+        if self._session is None or command.session != self._session:
+            return None
+        if self.state not in (TagState.ARBITRATE, TagState.REPLY):
+            return None
+        if not 0 <= new_q <= 15:
+            raise TagStateError(f"adjusted Q out of range: {new_q}")
+        self._slot_counter = rng.randint(0, (1 << new_q) - 1)
+        if self._slot_counter == 0:
+            self.state = TagState.REPLY
+            self._rn16 = rng.randint(0, 0xFFFF)
+            return self._rn16
+        self.state = TagState.ARBITRATE
+        return None
+
+    def on_ack(self, command: AckCommand) -> Optional[str]:
+        """Handle an ACK. Returns the PC/EPC backscatter on RN16 match."""
+        if not self.energized or self.state is TagState.KILLED:
+            return None
+        if self.state is not TagState.REPLY:
+            return None
+        if self._rn16 is None or command.rn16 != self._rn16:
+            # Wrong handle: the tag returns to arbitrate (spec) — it
+            # will not reply again this round.
+            self.state = TagState.ARBITRATE
+            self._slot_counter = 1 << 15
+            return None
+        self.state = TagState.ACKNOWLEDGED
+        return self.epc
+
+    def end_of_round(self) -> None:
+        """Field moves on (new Query or carrier off): settle flags.
+
+        An ACKNOWLEDGED tag counts as inventoried; everyone returns to
+        READY for the next round.
+        """
+        if self.state is TagState.ACKNOWLEDGED:
+            self._flip_inventoried()
+        if self.state is not TagState.KILLED:
+            self.state = TagState.READY
+
+    def _flip_inventoried(self) -> None:
+        if self._session is not None:
+            self.inventoried_b[self._session] = not self.inventoried_b[
+                self._session
+            ]
+
+    # -- access / kill ------------------------------------------------------
+
+    def req_access(self, password: int) -> bool:
+        """Move an acknowledged tag to Open/Secured with the password."""
+        if self.state is not TagState.ACKNOWLEDGED:
+            raise TagStateError(
+                f"access requires ACKNOWLEDGED, tag is {self.state.value}"
+            )
+        if password != self.access_password:
+            return False
+        self.state = (
+            TagState.SECURED if self.access_password != 0 else TagState.OPEN
+        )
+        return True
+
+    def kill(self, password: int) -> bool:
+        """Permanently silence the tag (requires a non-zero password)."""
+        if self.state not in (TagState.OPEN, TagState.SECURED):
+            raise TagStateError(
+                f"kill requires OPEN/SECURED, tag is {self.state.value}"
+            )
+        if password == 0 or password != self.kill_password:
+            return False
+        self.state = TagState.KILLED
+        return True

@@ -1,0 +1,52 @@
+"""Reader-side stack: wire format, middleware, and back-end logic."""
+
+from .backend import (
+    ObjectRegistry,
+    RegistryError,
+    TrackedObject,
+    TrackingBackend,
+    TrackingDecision,
+)
+from .middleware import (
+    DuplicateEliminator,
+    LocationFilter,
+    MiddlewarePipeline,
+    PresenceInterval,
+    SlidingWindowSmoother,
+)
+from .wire import PolledInterface, WireFormatError, parse_tag_list, render_tag_list
+
+from .device import DeviceConfig, DeviceError, ReaderDevice
+
+from .site import Checkpoint, Journey, SiteError, SiteTracker
+
+from .smurf import EpochObservations, SmurfCleaner
+
+__all__ = [
+    "EpochObservations",
+    "SmurfCleaner",
+
+    "Checkpoint",
+    "Journey",
+    "SiteError",
+    "SiteTracker",
+
+    "DeviceConfig",
+    "DeviceError",
+    "ReaderDevice",
+
+    "ObjectRegistry",
+    "RegistryError",
+    "TrackedObject",
+    "TrackingBackend",
+    "TrackingDecision",
+    "DuplicateEliminator",
+    "LocationFilter",
+    "MiddlewarePipeline",
+    "PresenceInterval",
+    "SlidingWindowSmoother",
+    "PolledInterface",
+    "WireFormatError",
+    "parse_tag_list",
+    "render_tag_list",
+]

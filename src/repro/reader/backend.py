@@ -1,0 +1,151 @@
+"""Back-end: object registry, tag-to-object resolution, tracking decisions.
+
+"The back-end system implements the logic and actions for when a tag
+is identified." Here that means: a registry mapping EPCs to objects
+(an object may carry several tags — the premise of tag-level
+redundancy), an event store, and the tracking decision of Section 2.1:
+an object is *tracked* through a zone when any of its tags is read
+there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+
+from ..sim.events import TagReadEvent
+
+
+class RegistryError(ValueError):
+    """Raised on inconsistent registry operations."""
+
+
+@dataclass(frozen=True)
+class TrackedObject:
+    """An object (box, person, pallet) and its attached tag EPCs."""
+
+    object_id: str
+    epcs: FrozenSet[str]
+    kind: str = "object"
+
+    def __post_init__(self) -> None:
+        if not self.epcs:
+            raise RegistryError(
+                f"object {self.object_id!r} must carry at least one tag"
+            )
+
+
+class ObjectRegistry:
+    """EPC -> object resolution with uniqueness enforcement."""
+
+    def __init__(self) -> None:
+        self._objects: Dict[str, TrackedObject] = {}
+        self._epc_to_object: Dict[str, str] = {}
+
+    def register(self, obj: TrackedObject) -> None:
+        if obj.object_id in self._objects:
+            raise RegistryError(f"duplicate object id {obj.object_id!r}")
+        for epc in obj.epcs:
+            if epc in self._epc_to_object:
+                raise RegistryError(
+                    f"EPC {epc} already attached to "
+                    f"{self._epc_to_object[epc]!r}"
+                )
+        self._objects[obj.object_id] = obj
+        for epc in obj.epcs:
+            self._epc_to_object[epc] = obj.object_id
+
+    def object_for_epc(self, epc: str) -> Optional[TrackedObject]:
+        object_id = self._epc_to_object.get(epc)
+        return self._objects.get(object_id) if object_id else None
+
+    def get(self, object_id: str) -> TrackedObject:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise RegistryError(f"unknown object {object_id!r}") from None
+
+    def all_objects(self) -> List[TrackedObject]:
+        return list(self._objects.values())
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+@dataclass(frozen=True)
+class TrackingDecision:
+    """The back-end's verdict for one object during one observation window."""
+
+    object_id: str
+    detected: bool
+    first_seen: Optional[float]
+    tags_seen: FrozenSet[str]
+    total_tags: int
+
+    @property
+    def redundancy_used(self) -> bool:
+        """True when the object was saved by a non-first tag."""
+        return self.detected and len(self.tags_seen) < self.total_tags
+
+
+#: Action hook invoked for each detection (open a door, update a DB...).
+ActionFn = Callable[[TrackingDecision], None]
+
+
+class TrackingBackend:
+    """Consumes clean read events and renders per-object decisions."""
+
+    def __init__(
+        self,
+        registry: ObjectRegistry,
+        on_detect: Optional[ActionFn] = None,
+    ) -> None:
+        self._registry = registry
+        self._on_detect = on_detect
+        self._events: List[TagReadEvent] = []
+
+    def ingest(self, events: Sequence[TagReadEvent]) -> None:
+        """Append a batch of (already middleware-cleaned) events."""
+        self._events.extend(events)
+
+    @property
+    def event_count(self) -> int:
+        return len(self._events)
+
+    def decide(self) -> Dict[str, TrackingDecision]:
+        """Tracking decision for every registered object over all events."""
+        seen_by_object: Dict[str, Set[str]] = {}
+        first_time: Dict[str, float] = {}
+        for event in self._events:
+            obj = self._registry.object_for_epc(event.epc)
+            if obj is None:
+                continue
+            seen_by_object.setdefault(obj.object_id, set()).add(event.epc)
+            if obj.object_id not in first_time:
+                first_time[obj.object_id] = event.time
+        decisions: Dict[str, TrackingDecision] = {}
+        for obj in self._registry.all_objects():
+            seen = frozenset(seen_by_object.get(obj.object_id, set()))
+            decision = TrackingDecision(
+                object_id=obj.object_id,
+                detected=bool(seen),
+                first_seen=first_time.get(obj.object_id),
+                tags_seen=seen,
+                total_tags=len(obj.epcs),
+            )
+            decisions[obj.object_id] = decision
+            if decision.detected and self._on_detect is not None:
+                self._on_detect(decision)
+        return decisions
+
+    def missed_objects(self) -> List[str]:
+        """Objects present in the registry but never seen — false negatives."""
+        decisions = self.decide()
+        return sorted(
+            object_id
+            for object_id, decision in decisions.items()
+            if not decision.detected
+        )
+
+    def reset(self) -> None:
+        self._events.clear()

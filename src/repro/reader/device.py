@@ -1,0 +1,150 @@
+"""A reader-device facade emulating the paper's Matrics AR400 workflow.
+
+The paper's harness drove the reader in two modes:
+
+* **single read** — an HTTP command triggers one inventory cycle and
+  the response carries the tag list ("a single read was performed each
+  time", Figure 2);
+* **buffered continuous read** — the reader inventories continuously
+  and buffers; the application polls at its leisure ("the readers were
+  operated in a buffered (continuous) read mode and our tracking
+  results were independent of the application level polling speed").
+
+:class:`ReaderDevice` exposes exactly those two verbs on top of the
+pass simulator, returning the same XML documents a physical AR400
+would, so application code written against this facade would port to
+real hardware with only a transport change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..core.calibration import PaperSetup
+from ..rf.link import LinkEnvironment
+from ..sim.rng import SeedSequence
+from ..world.motion import StationaryPlacement
+from ..world.portal import Portal, single_antenna_portal
+from ..world.simulation import (
+    CarrierGroup,
+    PassResult,
+    PortalPassSimulator,
+    SimulationParameters,
+)
+from .wire import PolledInterface, render_tag_list
+
+
+class DeviceError(RuntimeError):
+    """Raised for invalid device operations (e.g. polling before start)."""
+
+
+@dataclass
+class DeviceConfig:
+    """User-settable reader configuration (the AR400's web-console knobs)."""
+
+    tx_power_dbm: float = 30.0
+    single_read_window_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 10.0 <= self.tx_power_dbm <= 33.0:
+            raise DeviceError(
+                f"tx power {self.tx_power_dbm!r} outside the AR400's "
+                "10-33 dBm range"
+            )
+        if self.single_read_window_s <= 0:
+            raise DeviceError("single-read window must be positive")
+
+
+class ReaderDevice:
+    """One logical reader bound to a portal and an RF environment."""
+
+    def __init__(
+        self,
+        portal: Optional[Portal] = None,
+        env: Optional[LinkEnvironment] = None,
+        params: Optional[SimulationParameters] = None,
+        config: Optional[DeviceConfig] = None,
+        seed: int = 427008,
+    ) -> None:
+        setup = PaperSetup()
+        self.config = config or DeviceConfig()
+        self.portal = portal or single_antenna_portal(
+            tx_power_dbm=self.config.tx_power_dbm
+        )
+        self._simulator = PortalPassSimulator(
+            portal=self.portal,
+            env=env or setup.env,
+            params=params or setup.params,
+        )
+        self._seeds = SeedSequence(seed)
+        self._trial = 0
+        self._buffer: Optional[PolledInterface] = None
+        self._pass_duration = 0.0
+
+    # -- single read ------------------------------------------------------
+
+    def single_read(self, carriers: Sequence[CarrierGroup]) -> str:
+        """One commanded inventory cycle; returns the XML tag list.
+
+        The carriers are observed for the configured single-read window
+        at their *current* (t=0) positions — the stationary semantics of
+        the paper's Figure 2 measurements.
+        """
+        frozen = [self._frozen(c) for c in carriers]
+        result = self._run(frozen)
+        return render_tag_list(list(result.trace))
+
+    def _frozen(self, carrier: CarrierGroup) -> CarrierGroup:
+        """A copy of the carrier pinned at its t=0 position."""
+        return CarrierGroup(
+            motion=StationaryPlacement(
+                position=carrier.motion.position_at(0.0),
+                duration_s=self.config.single_read_window_s,
+            ),
+            tags=carrier.tags,
+            occluders=carrier.occluders,
+            clutter_sigma_db=carrier.clutter_sigma_db,
+        )
+
+    # -- buffered continuous mode ------------------------------------------
+
+    def start_continuous(self, carriers: Sequence[CarrierGroup]) -> None:
+        """Begin a buffered continuous read over one carrier pass."""
+        if self._buffer is not None:
+            raise DeviceError("continuous read already running; stop() first")
+        result = self._run(carriers)
+        self._buffer = PolledInterface(list(result.trace))
+        self._pass_duration = result.duration_s
+
+    def poll(self, now: float) -> str:
+        """Drain buffered reads with ``time <= now`` as XML.
+
+        Raises
+        ------
+        DeviceError
+            When no continuous read is active.
+        """
+        if self._buffer is None:
+            raise DeviceError("no continuous read active")
+        return self._buffer.poll(now)
+
+    def stop(self) -> str:
+        """End the continuous read, returning any still-buffered events."""
+        if self._buffer is None:
+            raise DeviceError("no continuous read active")
+        remainder = self._buffer.poll(now=float("inf"))
+        self._buffer = None
+        return remainder
+
+    @property
+    def pass_duration_s(self) -> float:
+        """Duration of the most recent continuous pass."""
+        return self._pass_duration
+
+    # -- internals --------------------------------------------------------
+
+    def _run(self, carriers: Sequence[CarrierGroup]) -> PassResult:
+        result = self._simulator.run_pass(carriers, self._seeds, self._trial)
+        self._trial += 1
+        return result

@@ -1,0 +1,175 @@
+"""Edge middleware: duplicate elimination, smoothing, location filtering.
+
+Raw reader streams are noisy in both directions — the same tag reports
+dozens of times per pass (duplicates) and fades in and out (flicker).
+Standard RFID middleware cleans the stream before the back-end sees it:
+
+* :class:`DuplicateEliminator` — collapse repeats within a time window;
+* :class:`SlidingWindowSmoother` — declare a tag *present* while it has
+  at least one read in the trailing window (the fixed-window version of
+  adaptive cleaning a la SMURF, VLDB'06 [15] in the paper);
+* :class:`LocationFilter` — attribute events to zones and drop reads
+  from antennas outside the zone of interest (the paper's false-positive
+  remedy is physical — spacing and power — but deployments also filter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..sim.events import TagReadEvent
+
+
+class DuplicateEliminator:
+    """Drop repeat reads of the same (epc, reader, antenna) within a window."""
+
+    def __init__(self, window_s: float = 1.0) -> None:
+        if window_s < 0.0:
+            raise ValueError(f"window must be non-negative, got {window_s!r}")
+        self._window = window_s
+        self._last_seen: Dict[Tuple[str, str, str], float] = {}
+
+    def filter(self, events: Iterable[TagReadEvent]) -> List[TagReadEvent]:
+        """Pass each event at most once per window, preserving order."""
+        out: List[TagReadEvent] = []
+        for event in events:
+            key = event.key()
+            last = self._last_seen.get(key)
+            if last is None or event.time - last >= self._window:
+                out.append(event)
+                self._last_seen[key] = event.time
+        return out
+
+    def reset(self) -> None:
+        self._last_seen.clear()
+
+
+@dataclass(frozen=True)
+class PresenceInterval:
+    """A smoothed presence: tag considered in-zone during [start, end)."""
+
+    epc: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SlidingWindowSmoother:
+    """Turn flickering reads into continuous presence intervals.
+
+    A tag is *present* from its first read until ``window_s`` elapses
+    with no read. Small windows flicker (false transitions); large
+    windows lag departures — the tension SMURF resolves adaptively,
+    which :meth:`adaptive_window` approximates using the observed
+    inter-read rate.
+    """
+
+    def __init__(self, window_s: float = 2.0) -> None:
+        if window_s <= 0.0:
+            raise ValueError(f"window must be positive, got {window_s!r}")
+        self._window = window_s
+
+    @property
+    def window_s(self) -> float:
+        return self._window
+
+    def smooth(self, events: Sequence[TagReadEvent]) -> List[PresenceInterval]:
+        """Presence intervals per tag from a time-ordered event stream."""
+        by_tag: Dict[str, List[float]] = {}
+        for event in events:
+            by_tag.setdefault(event.epc, []).append(event.time)
+        intervals: List[PresenceInterval] = []
+        for epc, times in by_tag.items():
+            times.sort()
+            start = times[0]
+            last = times[0]
+            for t in times[1:]:
+                if t - last > self._window:
+                    intervals.append(
+                        PresenceInterval(epc, start, last + self._window)
+                    )
+                    start = t
+                last = t
+            intervals.append(PresenceInterval(epc, start, last + self._window))
+        return sorted(intervals, key=lambda iv: (iv.start, iv.epc))
+
+    @staticmethod
+    def adaptive_window(
+        read_times: Sequence[float], target_miss_probability: float = 0.05
+    ) -> float:
+        """SMURF-style window: wide enough that a present tag is unlikely
+        to go a full window unread.
+
+        With reads arriving roughly Poisson at rate ``lambda``, the
+        probability of a silent window of length w is ``exp(-lambda w)``;
+        solve for w at the target miss probability.
+        """
+        if not 0.0 < target_miss_probability < 1.0:
+            raise ValueError(
+                "target miss probability must be in (0, 1), got "
+                f"{target_miss_probability!r}"
+            )
+        if len(read_times) < 2:
+            return 2.0  # no rate information; fall back to a stock window
+        ordered = sorted(read_times)
+        span = ordered[-1] - ordered[0]
+        if span <= 0.0:
+            return 2.0
+        rate = (len(ordered) - 1) / span
+        import math
+
+        return -math.log(target_miss_probability) / rate
+
+
+class LocationFilter:
+    """Map (reader, antenna) to zones and keep only zones of interest."""
+
+    def __init__(
+        self,
+        zone_of: Mapping[Tuple[str, str], str],
+        zones_of_interest: Optional[Set[str]] = None,
+    ) -> None:
+        if not zone_of:
+            raise ValueError("need at least one antenna-zone mapping")
+        self._zone_of = dict(zone_of)
+        self._interest = zones_of_interest
+
+    def zone_for(self, event: TagReadEvent) -> Optional[str]:
+        return self._zone_of.get((event.reader_id, event.antenna_id))
+
+    def filter(self, events: Iterable[TagReadEvent]) -> List[TagReadEvent]:
+        """Keep events whose antenna maps to a zone of interest."""
+        out = []
+        for event in events:
+            zone = self.zone_for(event)
+            if zone is None:
+                continue
+            if self._interest is not None and zone not in self._interest:
+                continue
+            out.append(event)
+        return out
+
+
+@dataclass
+class MiddlewarePipeline:
+    """Location filter -> duplicate elimination -> smoothing, in order."""
+
+    location: Optional[LocationFilter] = None
+    dedup: DuplicateEliminator = field(default_factory=DuplicateEliminator)
+    smoother: SlidingWindowSmoother = field(
+        default_factory=SlidingWindowSmoother
+    )
+
+    def process(
+        self, events: Sequence[TagReadEvent]
+    ) -> Tuple[List[TagReadEvent], List[PresenceInterval]]:
+        """Run the full pipeline; returns (clean events, presences)."""
+        stream: Sequence[TagReadEvent] = events
+        if self.location is not None:
+            stream = self.location.filter(stream)
+        clean = self.dedup.filter(stream)
+        return clean, self.smoother.smooth(clean)

@@ -1,0 +1,157 @@
+"""Adaptive-window RFID data cleaning (SMURF; paper reference [15]).
+
+Jeffery, Garofalakis & Franklin's SMURF ("Adaptive cleaning for RFID
+data streams", VLDB 2006) treats a tag's reads as Bernoulli samples of
+its presence: within a window of ``w`` epochs, a tag present with
+per-epoch read probability ``p`` is seen ``Binomial(w, p)`` times.
+SMURF sizes each tag's smoothing window adaptively:
+
+* **completeness** — the window must be wide enough that a present tag
+  is unlikely to go entirely unread (avoid false transitions);
+* **responsiveness** — the window must stay narrow enough to notice
+  real departures; SMURF detects a *transition* when the observed read
+  count falls statistically below what the estimated ``p`` predicts.
+
+Our :class:`~repro.reader.middleware.SlidingWindowSmoother` is the
+fixed-window baseline; this module is the adaptive upgrade, per tag.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.events import TagReadEvent
+
+
+@dataclass
+class EpochObservations:
+    """Read bookkeeping for one tag over discrete epochs."""
+
+    epochs_seen: int = 0
+    reads: int = 0
+
+    @property
+    def read_rate(self) -> float:
+        """Per-epoch Bernoulli estimate p-hat (0 before any epoch)."""
+        if self.epochs_seen == 0:
+            return 0.0
+        return self.reads / self.epochs_seen
+
+
+@dataclass
+class SmurfCleaner:
+    """Per-tag adaptive smoothing over an epoch-structured stream.
+
+    Parameters
+    ----------
+    epoch_s:
+        Duration of one read epoch (typically one inventory cycle).
+    delta:
+        Completeness target: P(present tag unread for a full window)
+        <= delta.
+    min_window_epochs, max_window_epochs:
+        Clamp on the adaptive window.
+    """
+
+    epoch_s: float = 0.2
+    delta: float = 0.05
+    min_window_epochs: int = 1
+    max_window_epochs: int = 25
+    _state: Dict[str, EpochObservations] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0:
+            raise ValueError(f"epoch must be positive, got {self.epoch_s!r}")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError(f"delta must be in (0, 1), got {self.delta!r}")
+        if not 1 <= self.min_window_epochs <= self.max_window_epochs:
+            raise ValueError("window clamp must satisfy 1 <= min <= max")
+
+    # -- window sizing ------------------------------------------------------
+
+    def required_window_epochs(self, read_rate: float) -> int:
+        """Smallest window meeting the completeness target at ``read_rate``.
+
+        From (1 - p)^w <= delta: w >= ln(delta) / ln(1 - p).
+        """
+        if read_rate <= 0.0:
+            return self.max_window_epochs
+        if read_rate >= 1.0:
+            return self.min_window_epochs
+        w = math.log(self.delta) / math.log(1.0 - read_rate)
+        return max(
+            self.min_window_epochs,
+            min(self.max_window_epochs, int(math.ceil(w))),
+        )
+
+    def transition_detected(
+        self, read_rate: float, window_epochs: int, window_reads: int
+    ) -> bool:
+        """Has the tag statistically departed mid-window?
+
+        SMURF's binomial test: flag a transition when the observed
+        count falls more than two standard deviations below the
+        expectation ``w * p``.
+        """
+        if window_epochs <= 0:
+            return False
+        expected = window_epochs * read_rate
+        stddev = math.sqrt(
+            max(window_epochs * read_rate * (1.0 - read_rate), 0.0)
+        )
+        return (expected - window_reads) > 2.0 * stddev
+
+    # -- stream processing --------------------------------------------------
+
+    def presence_intervals(
+        self, events: Sequence[TagReadEvent], duration_s: float
+    ) -> Dict[str, List[Tuple[float, float]]]:
+        """Smooth a pass's events into per-tag presence intervals.
+
+        The stream is diced into epochs; each tag's per-epoch read rate
+        is estimated online and its smoothing window adapts with it.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s!r}")
+        epochs = max(1, int(math.ceil(duration_s / self.epoch_s)))
+        # reads_per_epoch[tag][epoch] = count
+        reads: Dict[str, List[int]] = {}
+        for event in events:
+            index = min(int(event.time / self.epoch_s), epochs - 1)
+            per_tag = reads.setdefault(event.epc, [0] * epochs)
+            per_tag[index] += 1
+
+        intervals: Dict[str, List[Tuple[float, float]]] = {}
+        for epc, counts in reads.items():
+            tag_intervals: List[Tuple[float, float]] = []
+            state = EpochObservations()
+            open_start: Optional[float] = None
+            silent = 0
+            for index, count in enumerate(counts):
+                state.epochs_seen += 1
+                state.reads += 1 if count > 0 else 0
+                rate = max(state.read_rate, 1e-3)
+                window = self.required_window_epochs(rate)
+                t = index * self.epoch_s
+                if count > 0:
+                    if open_start is None:
+                        open_start = t
+                    silent = 0
+                elif open_start is not None:
+                    silent += 1
+                    if silent >= window:
+                        tag_intervals.append(
+                            (open_start, t - (silent - 1) * self.epoch_s)
+                        )
+                        open_start = None
+                        silent = 0
+            if open_start is not None:
+                end = min(epochs * self.epoch_s, duration_s)
+                tag_intervals.append((open_start, end))
+            intervals[epc] = tag_intervals
+        return intervals
+
+    def reset(self) -> None:
+        self._state.clear()

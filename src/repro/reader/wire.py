@@ -1,0 +1,101 @@
+"""AR400-style wire format: XML tag lists over a polled interface.
+
+The paper's harness "sends commands to the reader over its HTTP
+interface and the reader responds with a list of tags in XML format".
+This module emulates that contract so downstream tooling (middleware,
+back-end, examples) consumes the same shape of data a physical Matrics
+reader would have produced.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..sim.events import TagReadEvent
+
+
+class WireFormatError(ValueError):
+    """Raised when a tag-list document cannot be parsed."""
+
+
+def render_tag_list(events: Sequence[TagReadEvent]) -> str:
+    """Serialize read events as an AR400-flavoured XML tag list."""
+    root = ET.Element("TagList")
+    for event in events:
+        tag = ET.SubElement(root, "Tag")
+        ET.SubElement(tag, "EPC").text = event.epc
+        ET.SubElement(tag, "ReaderID").text = event.reader_id
+        ET.SubElement(tag, "AntennaID").text = event.antenna_id
+        ET.SubElement(tag, "Timestamp").text = f"{event.time:.6f}"
+        ET.SubElement(tag, "RSSI").text = f"{event.rssi_dbm:.1f}"
+    return ET.tostring(root, encoding="unicode")
+
+
+def parse_tag_list(document: str) -> List[TagReadEvent]:
+    """Parse a tag-list document back into read events.
+
+    Raises
+    ------
+    WireFormatError
+        On malformed XML or missing/invalid fields.
+    """
+    try:
+        root = ET.fromstring(document)
+    except ET.ParseError as exc:
+        raise WireFormatError(f"malformed tag list XML: {exc}") from exc
+    if root.tag != "TagList":
+        raise WireFormatError(
+            f"expected <TagList> root, got <{root.tag}>"
+        )
+    events: List[TagReadEvent] = []
+    for i, tag in enumerate(root.findall("Tag")):
+        fields = {}
+        for name in ("EPC", "ReaderID", "AntennaID", "Timestamp", "RSSI"):
+            element = tag.find(name)
+            if element is None or element.text is None:
+                raise WireFormatError(f"tag #{i} missing <{name}>")
+            fields[name] = element.text
+        try:
+            events.append(
+                TagReadEvent(
+                    time=float(fields["Timestamp"]),
+                    epc=fields["EPC"],
+                    reader_id=fields["ReaderID"],
+                    antenna_id=fields["AntennaID"],
+                    rssi_dbm=float(fields["RSSI"]),
+                )
+            )
+        except ValueError as exc:
+            raise WireFormatError(f"tag #{i} has invalid numerics: {exc}") from exc
+    return events
+
+
+@dataclass
+class PolledInterface:
+    """The HTTP-poll view of a reader's buffered trace.
+
+    A buffered (continuous-mode) reader accumulates reads; each poll
+    drains everything since the previous poll — the paper notes its
+    "tracking results were independent of the application level polling
+    speed" precisely because the buffer loses nothing.
+    """
+
+    events: List[TagReadEvent]
+    _cursor: int = 0
+
+    def poll(self, now: float) -> str:
+        """Return (as XML) all buffered events with ``time <= now``."""
+        batch: List[TagReadEvent] = []
+        while (
+            self._cursor < len(self.events)
+            and self.events[self._cursor].time <= now
+        ):
+            batch.append(self.events[self._cursor])
+            self._cursor += 1
+        return render_tag_list(batch)
+
+    @property
+    def drained(self) -> bool:
+        return self._cursor >= len(self.events)

@@ -1,0 +1,124 @@
+"""RF substrate: units, geometry, propagation, antennas, materials, link budget."""
+
+from .antenna import (
+    CIRCULAR_TO_LINEAR_LOSS_DB,
+    DipoleAntenna,
+    PatchAntenna,
+    polarization_loss_db,
+)
+from .coupling import CouplingModel, grid_positions
+from .geometry import (
+    ORIGIN,
+    Pose,
+    Rotation,
+    Vec3,
+    centroid,
+    pairwise_distances,
+    segment_intersects_sphere,
+    segment_sphere_chord_length,
+)
+from .link import (
+    LinkEnvironment,
+    LinkGeometry,
+    LinkResult,
+    evaluate_link,
+    free_space_read_range_m,
+)
+from .materials import (
+    AIR,
+    BODY,
+    CARDBOARD,
+    LIQUID,
+    METAL,
+    Material,
+    material_by_name,
+)
+from .propagation import (
+    RAYLEIGH,
+    ChannelModel,
+    PathLossModel,
+    RicianFading,
+    ShadowingModel,
+)
+from .units import (
+    PAPER_READER_POWER_DBM,
+    SPEED_OF_LIGHT,
+    UHF_RFID_FREQ_HZ,
+    db_to_linear,
+    dbm_to_milliwatts,
+    dbm_to_watts,
+    friis_path_gain_db,
+    linear_to_db,
+    milliwatts_to_dbm,
+    sum_powers_dbm,
+    watts_to_dbm,
+    wavelength,
+)
+
+from .regulatory import (
+    ETSI_PLAN,
+    FCC_PLAN,
+    ChannelPlan,
+    collision_probability,
+    count_collisions,
+    expected_interference_duty_cycle,
+)
+
+from .noise import ReceiverModel, sensitivity_check, thermal_noise_dbm
+
+__all__ = [
+    "ReceiverModel",
+    "sensitivity_check",
+    "thermal_noise_dbm",
+
+    "ETSI_PLAN",
+    "FCC_PLAN",
+    "ChannelPlan",
+    "collision_probability",
+    "count_collisions",
+    "expected_interference_duty_cycle",
+
+    "CIRCULAR_TO_LINEAR_LOSS_DB",
+    "DipoleAntenna",
+    "PatchAntenna",
+    "polarization_loss_db",
+    "CouplingModel",
+    "grid_positions",
+    "ORIGIN",
+    "Pose",
+    "Rotation",
+    "Vec3",
+    "centroid",
+    "pairwise_distances",
+    "segment_intersects_sphere",
+    "segment_sphere_chord_length",
+    "LinkEnvironment",
+    "LinkGeometry",
+    "LinkResult",
+    "evaluate_link",
+    "free_space_read_range_m",
+    "AIR",
+    "BODY",
+    "CARDBOARD",
+    "LIQUID",
+    "METAL",
+    "Material",
+    "material_by_name",
+    "RAYLEIGH",
+    "ChannelModel",
+    "PathLossModel",
+    "RicianFading",
+    "ShadowingModel",
+    "PAPER_READER_POWER_DBM",
+    "SPEED_OF_LIGHT",
+    "UHF_RFID_FREQ_HZ",
+    "db_to_linear",
+    "dbm_to_milliwatts",
+    "dbm_to_watts",
+    "friis_path_gain_db",
+    "linear_to_db",
+    "milliwatts_to_dbm",
+    "sum_powers_dbm",
+    "watts_to_dbm",
+    "wavelength",
+]

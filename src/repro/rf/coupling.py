@@ -1,0 +1,174 @@
+"""Inter-tag mutual coupling ("tags placed too close interfere").
+
+Closely spaced dipole tags detune each other: each tag's antenna sits
+in the near field of its neighbours, which shifts its resonance and
+steals induced power. The paper measures this directly (Figure 4),
+finding that parallel tags need **20-40 mm** of separation to behave
+independently, with almost total failure at sub-millimetre spacing.
+
+We model the effect as a dB penalty per neighbouring tag that decays
+smoothly with separation and vanishes beyond a cutoff, scaled by how
+parallel the two dipole axes are (orthogonal dipoles barely couple).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from .geometry import Vec3
+
+
+@dataclass(frozen=True)
+class CouplingModel:
+    """Pairwise near-field coupling penalty between dipole tags.
+
+    Parameters
+    ----------
+    contact_penalty_db:
+        Penalty when two parallel tags are (nearly) touching. The
+        paper's 0.3 mm case reads almost nothing, so the default is
+        large.
+    safe_distance_m:
+        Separation beyond which coupling is negligible. The paper's
+        measured safe distance is 20-40 mm; 0.04 m is the conservative
+        end.
+    falloff_exponent:
+        Shape of the decay between contact and the safe distance.
+        Near-field energy density falls off extremely fast (1/r^6 for
+        reactive coupling), so the default is steep.
+    """
+
+    contact_penalty_db: float = 30.0
+    safe_distance_m: float = 0.04
+    falloff_exponent: float = 2.0
+
+    def pair_penalty_db(
+        self,
+        separation_m: float,
+        axis_a: Vec3,
+        axis_b: Vec3,
+    ) -> float:
+        """Coupling penalty one tag suffers from one neighbour.
+
+        Parameters
+        ----------
+        separation_m:
+            Edge-to-edge distance between the two inlays.
+        axis_a, axis_b:
+            Dipole axes; coupling scales with the squared cosine of the
+            angle between them (parallel couples fully, orthogonal not
+            at all).
+        """
+        if separation_m < 0.0:
+            raise ValueError(
+                f"separation must be non-negative, got {separation_m!r}"
+            )
+        if separation_m >= self.safe_distance_m:
+            return 0.0
+        # Smooth monotone decay from contact_penalty_db at 0 to 0 at the
+        # safe distance.
+        frac = 1.0 - separation_m / self.safe_distance_m
+        distance_factor = frac ** self.falloff_exponent
+        alignment = self._alignment_factor(axis_a, axis_b)
+        return self.contact_penalty_db * distance_factor * alignment
+
+    @staticmethod
+    def _alignment_factor(axis_a: Vec3, axis_b: Vec3) -> float:
+        """cos^2 of the inter-axis angle, in [0, 1]."""
+        denom = axis_a.norm() * axis_b.norm()
+        if denom < 1e-18:
+            return 0.0
+        cosine = axis_a.dot(axis_b) / denom
+        return min(1.0, cosine * cosine)
+
+    #: Weight of non-dominant neighbours: near-field detuning is ruled
+    #: by the closest inlay, with the rest contributing a residual.
+    secondary_weight: float = 0.1
+    #: Ceiling on the aggregate penalty — a tag cannot be "more than
+    #: fully" detuned, and some energy always couples around the stack.
+    max_total_penalty_db: float = 35.0
+
+    def total_penalty_db(
+        self,
+        tag_index: int,
+        positions: Sequence[Vec3],
+        axes: Sequence[Vec3],
+    ) -> float:
+        """Aggregate penalty on tag ``tag_index`` from all other tags.
+
+        The dominant (nearest/strongest) pair sets the penalty; further
+        neighbours add a down-weighted residual, capped overall. This
+        reproduces the gradual knee of the paper's Figure 4: middle
+        tags of a dense stack fare slightly worse than edge tags, and
+        reads recover progressively as spacing grows rather than
+        flipping from dead to perfect.
+        """
+        if len(positions) != len(axes):
+            raise ValueError(
+                f"positions ({len(positions)}) and axes ({len(axes)}) "
+                "must have equal length"
+            )
+        if not 0 <= tag_index < len(positions):
+            raise IndexError(f"tag index {tag_index} out of range")
+        me = positions[tag_index]
+        my_axis = axes[tag_index]
+        penalties = []
+        for j, (pos, axis) in enumerate(zip(positions, axes)):
+            if j == tag_index:
+                continue
+            sep = me.distance_to(pos)
+            if sep >= self.safe_distance_m:
+                continue
+            penalty = self.pair_penalty_db(sep, my_axis, axis)
+            if penalty > 0.0:
+                penalties.append(penalty)
+        if not penalties:
+            return 0.0
+        dominant = max(penalties)
+        residual = (sum(penalties) - dominant) * self.secondary_weight
+        return min(dominant + residual, self.max_total_penalty_db)
+
+    def minimum_safe_spacing_m(
+        self,
+        axis_a: Vec3,
+        axis_b: Vec3,
+        tolerable_penalty_db: float = 1.0,
+    ) -> float:
+        """Smallest separation at which the pair penalty drops below a tolerance.
+
+        This is the model-side counterpart of the paper's "minimum safe
+        distance" question; a bisection over the monotone decay.
+        """
+        if tolerable_penalty_db <= 0.0:
+            raise ValueError("tolerance must be positive")
+        if self.pair_penalty_db(0.0, axis_a, axis_b) <= tolerable_penalty_db:
+            return 0.0
+        lo, hi = 0.0, self.safe_distance_m
+        for _ in range(60):
+            mid = (lo + hi) / 2.0
+            if self.pair_penalty_db(mid, axis_a, axis_b) > tolerable_penalty_db:
+                lo = mid
+            else:
+                hi = mid
+        return hi
+
+
+def grid_positions(
+    count: int,
+    spacing_m: float,
+    direction: Vec3 = Vec3.unit_x(),
+    origin: Vec3 = Vec3.zero(),
+) -> Tuple[Vec3, ...]:
+    """Positions of ``count`` tags in a line with uniform ``spacing_m``.
+
+    Convenience used by the Figure 4 scenario (10 parallel tags on a
+    cardboard sheet).
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count!r}")
+    if spacing_m < 0.0:
+        raise ValueError(f"spacing must be non-negative, got {spacing_m!r}")
+    step = direction.normalized() * spacing_m if spacing_m > 0 else Vec3.zero()
+    return tuple(origin + step * float(i) for i in range(count))

@@ -1,0 +1,251 @@
+"""Forward/reverse link budget for passive UHF backscatter links.
+
+A passive tag read succeeds only when **both** directions close:
+
+* **forward link** — enough reader power reaches the tag chip to
+  activate it (threshold around -12 dBm for early Gen 2 silicon). For
+  30 dBm readers and passive tags this is almost always the limiting
+  direction, which is why read range tops out at a few metres exactly
+  as the paper's Figure 2 shows.
+* **reverse link** — the backscattered reply must exceed the reader's
+  receive sensitivity *and* clear any co-channel interference (other
+  readers transmitting CW in band). Reader-to-reader interference
+  desensitizes the receiver, which is the mechanism behind the paper's
+  finding that two readers per portal without dense-reader mode
+  *reduce* reliability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .antenna import DipoleAntenna, PatchAntenna, polarization_loss_db
+from .geometry import Vec3
+from .propagation import ChannelModel
+from .units import linear_to_db
+
+
+@dataclass(frozen=True)
+class LinkEnvironment:
+    """All hardware constants and channel models for a reader-tag link.
+
+    Parameters
+    ----------
+    channel:
+        Propagation stack (path loss + shadowing + fading).
+    reader_antenna, tag_antenna:
+        Gain patterns.
+    tag_sensitivity_dbm:
+        Minimum incident power that wakes the tag chip. -12 dBm matches
+        2006-era Gen 2 silicon (modern chips reach -20 dBm).
+    reader_sensitivity_dbm:
+        Minimum backscatter power the reader can decode in a clean
+        channel.
+    backscatter_loss_db:
+        Modulation/conversion loss of the tag's reflection (typically
+        about 5 dB below the incident power, plus the return path).
+    cable_loss_db:
+        Coax loss between reader port and antenna, applied in both
+        directions.
+    required_sinr_db:
+        Margin the backscatter signal needs over in-band interference.
+    """
+
+    channel: ChannelModel = field(default_factory=ChannelModel)
+    reader_antenna: PatchAntenna = field(default_factory=PatchAntenna)
+    tag_antenna: DipoleAntenna = field(default_factory=DipoleAntenna)
+    tag_sensitivity_dbm: float = -12.0
+    reader_sensitivity_dbm: float = -75.0
+    backscatter_loss_db: float = 5.0
+    cable_loss_db: float = 1.0
+    required_sinr_db: float = 10.0
+
+
+@dataclass(frozen=True)
+class LinkGeometry:
+    """World-frame geometry of one reader-antenna-to-tag link."""
+
+    antenna_position: Vec3
+    antenna_boresight: Vec3
+    tag_position: Vec3
+    tag_axis: Vec3
+
+    @property
+    def distance_m(self) -> float:
+        return self.antenna_position.distance_to(self.tag_position)
+
+    @property
+    def direction(self) -> Vec3:
+        """Unit vector from antenna to tag."""
+        return (self.tag_position - self.antenna_position).normalized()
+
+
+@dataclass(frozen=True)
+class LinkResult:
+    """Full accounting of one link-budget evaluation."""
+
+    forward_power_dbm: float
+    reverse_power_dbm: float
+    activated: bool
+    decodable: bool
+    forward_margin_db: float
+    reverse_margin_db: float
+
+    @property
+    def readable(self) -> bool:
+        """True when the physical layer supports a read attempt."""
+        return self.activated and self.decodable
+
+
+def evaluate_link(
+    env: LinkEnvironment,
+    tx_power_dbm: float,
+    geometry: LinkGeometry,
+    obstruction_loss_db: float = 0.0,
+    tag_detuning_db: float = 0.0,
+    coupling_penalty_db: float = 0.0,
+    shadowing_db: float = 0.0,
+    fading_power_gain: float = 1.0,
+    interference_dbm: Optional[float] = None,
+    tag_gain_override_dbi: Optional[float] = None,
+) -> LinkResult:
+    """Evaluate a single read attempt's physical feasibility.
+
+    Parameters
+    ----------
+    env:
+        Hardware and channel constants.
+    tx_power_dbm:
+        Conducted power at the reader port.
+    geometry:
+        Positions and orientations, world frame.
+    obstruction_loss_db:
+        One-way through-material loss on the path (metal contents,
+        bodies, packaging), applied to both directions.
+    tag_detuning_db:
+        Penalty from mounting material proximity (grounding-plate effect).
+    coupling_penalty_db:
+        Penalty from near-field coupling with neighbouring tags.
+    shadowing_db:
+        Large-scale shadowing realisation for this trial (zero-mean, dB).
+    fading_power_gain:
+        Small-scale fading realisation (linear, unit mean) for this
+        attempt. Forward and reverse share it — backscatter channels are
+        reciprocal within a coherence time.
+    interference_dbm:
+        In-band interference power at the reader's receiver, if any.
+    tag_gain_override_dbi:
+        When given, use this tag antenna gain instead of evaluating
+        ``env.tag_antenna``'s dipole pattern — the hook through which
+        alternative inlay designs (dual dipole, metal mount, ...)
+        replace the stock pattern.
+
+    Returns
+    -------
+    LinkResult
+        Power levels and pass/fail for both directions.
+    """
+    if fading_power_gain < 0.0:
+        raise ValueError(
+            f"fading power gain must be non-negative, got {fading_power_gain!r}"
+        )
+    distance = geometry.distance_m
+    direction = geometry.direction
+    reader_gain = env.reader_antenna.gain_dbi(direction, geometry.antenna_boresight)
+    # Tag sees the wave arriving from -direction; dipole pattern is
+    # symmetric so the sign does not matter, but keep it explicit.
+    if tag_gain_override_dbi is not None:
+        tag_gain = tag_gain_override_dbi
+    else:
+        tag_gain = env.tag_antenna.gain_dbi(-direction, geometry.tag_axis)
+    pol_loss = polarization_loss_db(
+        env.reader_antenna.circular, geometry.tag_axis, direction
+    )
+    path_gain = env.channel.large_scale_gain_db(
+        distance,
+        tx_height_m=geometry.antenna_position.y,
+        rx_height_m=geometry.tag_position.y,
+        shadowing_db=shadowing_db,
+    )
+    fading_db = linear_to_db(max(fading_power_gain, 1e-12))
+    one_way_losses = obstruction_loss_db + tag_detuning_db + coupling_penalty_db
+
+    forward_power = (
+        tx_power_dbm
+        - env.cable_loss_db
+        + reader_gain
+        + path_gain
+        + tag_gain
+        - pol_loss
+        - one_way_losses
+        + fading_db
+    )
+    forward_margin = forward_power - env.tag_sensitivity_dbm
+    activated = forward_margin >= 0.0
+
+    # Reverse link: the tag re-radiates a fraction of the incident power
+    # back over the same (reciprocal) channel.
+    reverse_power = (
+        forward_power
+        - env.backscatter_loss_db
+        + tag_gain
+        + path_gain
+        + reader_gain
+        - pol_loss
+        - one_way_losses
+        - env.cable_loss_db
+        + fading_db
+    )
+    effective_floor = env.reader_sensitivity_dbm
+    if interference_dbm is not None:
+        # Interference desensitizes the receiver: the backscatter signal
+        # must now clear interference + required SINR, not just thermal
+        # sensitivity.
+        effective_floor = max(
+            effective_floor, interference_dbm + env.required_sinr_db
+        )
+    reverse_margin = reverse_power - effective_floor
+    decodable = reverse_margin >= 0.0
+
+    return LinkResult(
+        forward_power_dbm=forward_power,
+        reverse_power_dbm=reverse_power,
+        activated=activated,
+        decodable=decodable,
+        forward_margin_db=forward_margin,
+        reverse_margin_db=reverse_margin,
+    )
+
+
+def free_space_read_range_m(
+    env: LinkEnvironment,
+    tx_power_dbm: float,
+    step_m: float = 0.01,
+    max_range_m: float = 30.0,
+) -> float:
+    """Largest boresight distance at which the forward link still closes.
+
+    A deterministic (no shadowing/fading) sweep used for sanity checks
+    and planning; the stochastic read probability around this range is
+    what the experiments measure.
+    """
+    if step_m <= 0.0:
+        raise ValueError(f"step must be positive, got {step_m!r}")
+    antenna_pos = Vec3(0.0, 1.0, 0.0)
+    boresight = Vec3.unit_z()
+    best = 0.0
+    d = step_m
+    while d <= max_range_m:
+        geometry = LinkGeometry(
+            antenna_position=antenna_pos,
+            antenna_boresight=boresight,
+            tag_position=Vec3(0.0, 1.0, d),
+            tag_axis=Vec3.unit_x(),
+        )
+        result = evaluate_link(env, tx_power_dbm, geometry)
+        if result.readable:
+            best = d
+        d += step_m
+    return best

@@ -1,0 +1,125 @@
+"""Material effects on tag operation and propagation.
+
+The paper singles out two mechanisms:
+
+1. **Blocking** — material between antenna and tag attenuates the
+   signal (severely for metal and liquids, mildly for cardboard).
+2. **Grounding/detuning** — a tag mounted *near* metal or liquid is
+   detuned even when the material is not in the propagation path,
+   because the conductor shifts the antenna's impedance and shorts its
+   near field.
+
+Both are expressed as dB penalties consumed by the link budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Material:
+    """Electromagnetic bulk behaviour of a packaging or content material.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier.
+    attenuation_db_per_cm:
+        One-way through-loss per centimetre of traversed thickness.
+        Metal is effectively opaque (modelled as a very large value);
+        water-rich material absorbs strongly; dry cardboard barely
+        registers at 915 MHz.
+    detuning_db_at_contact:
+        Loss applied to a tag mounted directly on the material,
+        decaying with mounting distance (see :func:`detuning_loss_db`).
+    detuning_range_m:
+        Distance over which proximity detuning decays to ~zero.
+        Near-field effects at 915 MHz extend a few centimetres.
+    """
+
+    name: str
+    attenuation_db_per_cm: float
+    detuning_db_at_contact: float = 0.0
+    detuning_range_m: float = 0.05
+
+    def through_loss_db(self, thickness_m: float) -> float:
+        """One-way attenuation through ``thickness_m`` of this material."""
+        if thickness_m < 0.0:
+            raise ValueError(f"thickness must be non-negative, got {thickness_m!r}")
+        return self.attenuation_db_per_cm * thickness_m * 100.0
+
+    def detuning_loss_db(self, mount_distance_m: float) -> float:
+        """Detuning penalty for a tag ``mount_distance_m`` from this material.
+
+        Linear decay from the contact value to zero at
+        ``detuning_range_m``; a crude but standard system-level stand-in
+        for the impedance shift of a conductor-backed dipole.
+        """
+        if mount_distance_m < 0.0:
+            raise ValueError(
+                f"mount distance must be non-negative, got {mount_distance_m!r}"
+            )
+        if mount_distance_m >= self.detuning_range_m:
+            return 0.0
+        frac = 1.0 - mount_distance_m / self.detuning_range_m
+        return self.detuning_db_at_contact * frac
+
+
+#: Effectively opaque at UHF; also a strong detuner when tags sit on it.
+#: The detuning reach (~10 cm) reflects how far a conductor-backed
+#: dipole's impedance stays shifted — the reason "top of the box"
+#: placement over a metal router is the paper's worst location.
+METAL = Material(
+    name="metal",
+    attenuation_db_per_cm=200.0,
+    detuning_db_at_contact=28.0,
+    detuning_range_m=0.10,
+)
+
+#: Water-based contents (beverages, humans-as-material): strong absorber.
+LIQUID = Material(
+    name="liquid",
+    attenuation_db_per_cm=8.0,
+    detuning_db_at_contact=10.0,
+    detuning_range_m=0.04,
+)
+
+#: Dry corrugated cardboard: nearly transparent.
+CARDBOARD = Material(
+    name="cardboard",
+    attenuation_db_per_cm=0.3,
+    detuning_db_at_contact=0.0,
+)
+
+#: Human tissue, used by the body-blocking model. Mostly water.
+BODY = Material(
+    name="body",
+    attenuation_db_per_cm=4.0,
+    detuning_db_at_contact=12.0,
+    detuning_range_m=0.05,
+)
+
+#: Plain air (identity material).
+AIR = Material(name="air", attenuation_db_per_cm=0.0)
+
+#: Registry for lookup by name (used by scenario config files).
+MATERIALS: Dict[str, Material] = {
+    m.name: m for m in (METAL, LIQUID, CARDBOARD, BODY, AIR)
+}
+
+
+def material_by_name(name: str) -> Material:
+    """Look up a built-in material.
+
+    Raises
+    ------
+    KeyError
+        With the list of known names, if ``name`` is not registered.
+    """
+    try:
+        return MATERIALS[name]
+    except KeyError:
+        known = ", ".join(sorted(MATERIALS))
+        raise KeyError(f"unknown material {name!r}; known: {known}") from None

@@ -1,0 +1,114 @@
+"""Unit conversions and RF constants.
+
+Every quantity in the library is carried in SI units (metres, seconds,
+watts) internally; the dB-domain helpers here are the single place where
+logarithmic units are converted, so rounding conventions stay consistent
+across the propagation, antenna, and link-budget modules.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Centre of the US UHF RFID band (FCC 902-928 MHz), used by the paper's
+#: Matrics AR400 reader.
+UHF_RFID_FREQ_HZ = 915e6
+
+#: Regulatory power cap the paper's reader ran at: 30 dBm (1 W) conducted.
+PAPER_READER_POWER_DBM = 30.0
+
+
+def db_to_linear(db: float) -> float:
+    """Convert a dB ratio to a linear power ratio."""
+    return 10.0 ** (db / 10.0)
+
+
+def linear_to_db(ratio: float) -> float:
+    """Convert a linear power ratio to dB.
+
+    Raises
+    ------
+    ValueError
+        If ``ratio`` is not strictly positive (zero power has no dB value).
+    """
+    if ratio <= 0.0:
+        raise ValueError(f"cannot express non-positive ratio {ratio!r} in dB")
+    return 10.0 * math.log10(ratio)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    """Convert power in dBm to watts."""
+    return 10.0 ** ((dbm - 30.0) / 10.0)
+
+
+def watts_to_dbm(watts: float) -> float:
+    """Convert power in watts to dBm.
+
+    Raises
+    ------
+    ValueError
+        If ``watts`` is not strictly positive.
+    """
+    if watts <= 0.0:
+        raise ValueError(f"cannot express non-positive power {watts!r} in dBm")
+    return 10.0 * math.log10(watts) + 30.0
+
+
+def dbm_to_milliwatts(dbm: float) -> float:
+    """Convert power in dBm to milliwatts."""
+    return 10.0 ** (dbm / 10.0)
+
+
+def milliwatts_to_dbm(milliwatts: float) -> float:
+    """Convert power in milliwatts to dBm."""
+    if milliwatts <= 0.0:
+        raise ValueError(
+            f"cannot express non-positive power {milliwatts!r} in dBm"
+        )
+    return 10.0 * math.log10(milliwatts)
+
+
+def wavelength(freq_hz: float) -> float:
+    """Free-space wavelength (m) at ``freq_hz``.
+
+    At 915 MHz this is roughly 0.3276 m, which sets both the Friis path
+    loss and the near-field coupling radius used for inter-tag
+    interference.
+    """
+    if freq_hz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_hz!r}")
+    return SPEED_OF_LIGHT / freq_hz
+
+
+def friis_path_gain_db(distance_m: float, freq_hz: float = UHF_RFID_FREQ_HZ) -> float:
+    """Free-space path *gain* in dB (always negative beyond ~λ/4π).
+
+    ``Pr = Pt + Gt + Gr + friis_path_gain_db(d)`` in the dB domain.
+
+    Parameters
+    ----------
+    distance_m:
+        Separation between antennas in metres. Clamped below at one tenth
+        of a wavelength — Friis is a far-field formula and diverges to +inf
+        as d -> 0.
+    freq_hz:
+        Carrier frequency.
+    """
+    lam = wavelength(freq_hz)
+    d = max(distance_m, lam / 10.0)
+    return 20.0 * math.log10(lam / (4.0 * math.pi * d))
+
+
+def sum_powers_dbm(*levels_dbm: float) -> float:
+    """Combine incoherent power levels given in dBm.
+
+    Used when accumulating interference from several readers: powers add
+    in the linear domain, not the dB domain.
+    """
+    if not levels_dbm:
+        raise ValueError("need at least one power level to sum")
+    total_mw = sum(dbm_to_milliwatts(level) for level in levels_dbm)
+    return milliwatts_to_dbm(total_mw)

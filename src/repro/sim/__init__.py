@@ -1,0 +1,17 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .engine import Engine, SimulationError
+from .events import ScheduledEvent, SlotOutcome, TagReadEvent
+from .rng import RandomStream, SeedSequence
+from .trace import ReadTrace
+
+__all__ = [
+    "Engine",
+    "SimulationError",
+    "ScheduledEvent",
+    "SlotOutcome",
+    "TagReadEvent",
+    "RandomStream",
+    "SeedSequence",
+    "ReadTrace",
+]

@@ -1,0 +1,91 @@
+"""Trace recording for read events.
+
+A :class:`ReadTrace` is what a portal pass produces: the time-ordered
+list of successful singulations, from which reliability metrics are
+computed. It deliberately mirrors the information content of the
+AR400's XML tag lists that the paper's Java harness consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from .events import TagReadEvent
+
+
+@dataclass
+class ReadTrace:
+    """An append-only, time-ordered record of tag reads."""
+
+    events: List[TagReadEvent] = field(default_factory=list)
+
+    def record(self, event: TagReadEvent) -> None:
+        """Append one read event; times must be non-decreasing."""
+        if self.events and event.time < self.events[-1].time - 1e-12:
+            raise ValueError(
+                "read events must be recorded in non-decreasing time order: "
+                f"{event.time} after {self.events[-1].time}"
+            )
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TagReadEvent]:
+        return iter(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def epcs_seen(self) -> FrozenSet[str]:
+        """The distinct EPCs read at least once."""
+        return frozenset(e.epc for e in self.events)
+
+    def was_read(self, epc: str) -> bool:
+        """True when ``epc`` appears anywhere in the trace."""
+        return any(e.epc == epc for e in self.events)
+
+    def reads_of(self, epc: str) -> List[TagReadEvent]:
+        """All events for one EPC, in time order."""
+        return [e for e in self.events if e.epc == epc]
+
+    def by_antenna(self) -> Dict[Tuple[str, str], List[TagReadEvent]]:
+        """Events grouped by (reader_id, antenna_id)."""
+        groups: Dict[Tuple[str, str], List[TagReadEvent]] = {}
+        for e in self.events:
+            groups.setdefault((e.reader_id, e.antenna_id), []).append(e)
+        return groups
+
+    def read_counts(self) -> Dict[str, int]:
+        """Number of reads per EPC."""
+        counts: Dict[str, int] = {}
+        for e in self.events:
+            counts[e.epc] = counts.get(e.epc, 0) + 1
+        return counts
+
+    def first_read_time(self, epc: str) -> Optional[float]:
+        """Time of the first read of ``epc``, or None if never read."""
+        for e in self.events:
+            if e.epc == epc:
+                return e.time
+        return None
+
+    def window(self, start: float, end: float) -> "ReadTrace":
+        """A sub-trace restricted to ``start <= time < end``."""
+        if end < start:
+            raise ValueError(f"invalid window [{start}, {end})")
+        sub = ReadTrace()
+        for e in self.events:
+            if start <= e.time < end:
+                sub.record(e)
+        return sub
+
+    def merged_with(self, other: "ReadTrace") -> "ReadTrace":
+        """Time-ordered merge of two traces (e.g. two readers' outputs)."""
+        merged = ReadTrace()
+        merged.events = sorted(
+            list(self.events) + list(other.events), key=lambda e: e.time
+        )
+        return merged

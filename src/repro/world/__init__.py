@@ -1,0 +1,116 @@
+"""Physical world model: tags, objects, humans, portals, motion, passes."""
+
+from .humans import (
+    REFLECTION_GAIN_DB,
+    TORSO_RADIUS_M,
+    WAIST_HEIGHT_M,
+    Human,
+    HumanTagPlacement,
+    two_abreast,
+)
+from .motion import (
+    PAPER_LANE_DISTANCE_M,
+    PAPER_PASS_SPEED_MPS,
+    LinearPass,
+    StationaryPlacement,
+)
+from .objects import BoxContent, BoxFace, TaggedBox, cart_of_boxes
+from .portal import (
+    ANTENNA_HEIGHT_M,
+    PAPER_ANTENNA_SPACING_M,
+    AntennaInstallation,
+    Portal,
+    ReaderAssignment,
+    dual_antenna_portal,
+    dual_reader_portal,
+    single_antenna_portal,
+)
+from .simulation import (
+    CarrierGroup,
+    Occluder,
+    PassResult,
+    PortalPassSimulator,
+    SimulationParameters,
+)
+from .tags import (
+    ALL_ORIENTATIONS,
+    PAPER_TAG_LENGTH_M,
+    PAPER_TAG_WIDTH_M,
+    Tag,
+    TagOrientation,
+)
+
+from .ambient import (
+    AmbientZone,
+    FalsePositiveReport,
+    build_ambient_carrier,
+    classify_reads,
+)
+
+from .active_tags import ActiveTagModel, ActiveTagSimulator
+from .tag_designs import (
+    DESIGNS,
+    DesignCharacteristics,
+    TagDesign,
+    characteristics,
+    design_detuning_db,
+    design_gain_dbi,
+    expected_read_reliability,
+    worst_case_pattern_loss_db,
+)
+
+from .read_zone import ReadZoneMap, map_read_zone
+
+__all__ = [
+    "ReadZoneMap",
+    "map_read_zone",
+
+    "ActiveTagModel",
+    "ActiveTagSimulator",
+    "DESIGNS",
+    "DesignCharacteristics",
+    "TagDesign",
+    "characteristics",
+    "design_detuning_db",
+    "design_gain_dbi",
+    "expected_read_reliability",
+    "worst_case_pattern_loss_db",
+
+    "AmbientZone",
+    "FalsePositiveReport",
+    "build_ambient_carrier",
+    "classify_reads",
+
+    "REFLECTION_GAIN_DB",
+    "TORSO_RADIUS_M",
+    "WAIST_HEIGHT_M",
+    "Human",
+    "HumanTagPlacement",
+    "two_abreast",
+    "PAPER_LANE_DISTANCE_M",
+    "PAPER_PASS_SPEED_MPS",
+    "LinearPass",
+    "StationaryPlacement",
+    "BoxContent",
+    "BoxFace",
+    "TaggedBox",
+    "cart_of_boxes",
+    "ANTENNA_HEIGHT_M",
+    "PAPER_ANTENNA_SPACING_M",
+    "AntennaInstallation",
+    "Portal",
+    "ReaderAssignment",
+    "dual_antenna_portal",
+    "dual_reader_portal",
+    "single_antenna_portal",
+    "CarrierGroup",
+    "Occluder",
+    "PassResult",
+    "PortalPassSimulator",
+    "SimulationParameters",
+    "Tag",
+    "TagOrientation",
+    "ALL_ORIENTATIONS",
+    "PAPER_TAG_LENGTH_M",
+    "PAPER_TAG_WIDTH_M",
+]

@@ -1,0 +1,117 @@
+"""Ambient tag populations and false-positive reads.
+
+The paper focuses on false negatives but notes the dual failure: "RFID
+tags might be read from outside the region normally associated with the
+antenna, leading to a misbelief that the object is near the antenna",
+and prescribes the physical remedies — increase the distance between
+antennas and/or decrease reader power.
+
+This module populates the *neighbourhood* of a portal with stray tags
+(the next lane's pallets, a staging area) so deployments can quantify
+false-positive rates and validate the paper's remedies plus the
+software-side one (Select filtering, location filtering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from ..protocol.epc import EpcFactory
+from ..rf.geometry import Vec3
+from ..sim.trace import ReadTrace
+from .motion import StationaryPlacement
+from .simulation import CarrierGroup
+from .tags import Tag, TagOrientation
+
+
+@dataclass(frozen=True)
+class AmbientZone:
+    """A rectangular staging area holding stray tagged items."""
+
+    name: str
+    centre: Vec3
+    extent_x_m: float
+    extent_z_m: float
+    tag_count: int
+    height_m: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.tag_count < 0:
+            raise ValueError(f"tag count must be >= 0, got {self.tag_count!r}")
+        if self.extent_x_m <= 0 or self.extent_z_m <= 0:
+            raise ValueError("zone extents must be positive")
+
+
+def build_ambient_carrier(
+    zone: AmbientZone,
+    epc_factory: EpcFactory,
+    duration_s: float,
+    orientation: TagOrientation = TagOrientation.CASE_2_HORIZONTAL_FACING,
+) -> Tuple[CarrierGroup, List[str]]:
+    """A stationary carrier of stray tags spread over the zone.
+
+    Tags are laid out on a deterministic grid (a staging area's pallets
+    are regular); returns the carrier plus its EPC list so callers can
+    classify reads as in-zone or stray.
+    """
+    tags: List[Tag] = []
+    if zone.tag_count > 0:
+        columns = max(1, int(round(zone.tag_count ** 0.5)))
+        rows = (zone.tag_count + columns - 1) // columns
+        index = 0
+        for r in range(rows):
+            for c in range(columns):
+                if index >= zone.tag_count:
+                    break
+                fx = (c + 0.5) / columns - 0.5
+                fz = (r + 0.5) / rows - 0.5
+                tags.append(
+                    Tag(
+                        epc=epc_factory.next_epc().to_hex(),
+                        local_position=Vec3(
+                            fx * zone.extent_x_m,
+                            zone.height_m,
+                            fz * zone.extent_z_m,
+                        ),
+                        orientation=orientation,
+                        label=f"{zone.name}-{index}",
+                    )
+                )
+                index += 1
+    carrier = CarrierGroup(
+        motion=StationaryPlacement(position=zone.centre, duration_s=duration_s),
+        tags=tags,
+    )
+    return carrier, [t.epc for t in tags]
+
+
+@dataclass(frozen=True)
+class FalsePositiveReport:
+    """Classification of a trace against the intended population."""
+
+    intended_reads: int
+    stray_reads: int
+    stray_epcs: Tuple[str, ...]
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of *distinct tags read* that were strays."""
+        total = self.intended_reads + self.stray_reads
+        if total == 0:
+            return 0.0
+        return self.stray_reads / total
+
+
+def classify_reads(
+    trace: ReadTrace, intended_epcs: Sequence[str]
+) -> FalsePositiveReport:
+    """Split a trace's distinct tags into intended vs stray."""
+    intended: Set[str] = set(intended_epcs)
+    seen = trace.epcs_seen()
+    stray = tuple(sorted(seen - intended))
+    return FalsePositiveReport(
+        intended_reads=len(seen & intended),
+        stray_reads=len(stray),
+        stray_epcs=stray,
+    )

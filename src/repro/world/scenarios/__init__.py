@@ -1,0 +1,81 @@
+"""Scenario builders reproducing each of the paper's experiments."""
+
+from .human_tracking import (
+    PLACEMENT_SETS,
+    TABLE4_CASES,
+    TABLE5_CASES,
+    HumanPlacementResult,
+    HumanRedundancyCase,
+    HumanRedundancyOutcome,
+    build_walk,
+    run_human_redundancy_experiment,
+    run_table2_experiment,
+)
+from .object_tracking import (
+    TABLE1_LOCATIONS,
+    TABLE3_CASES,
+    ObjectTrackingResult,
+    RedundancyCase,
+    RedundancyOutcome,
+    build_box_cart,
+    run_object_redundancy_experiment,
+    run_table1_experiment,
+)
+from .orientation_spacing import (
+    PAPER_SPACINGS_M,
+    OrientationSpacingPoint,
+    build_tag_row,
+    minimum_safe_spacing,
+    run_orientation_spacing_experiment,
+)
+from .materials_study import (
+    MATERIAL_CASES,
+    MaterialStudyResult,
+    build_material_cart,
+    run_materials_study,
+)
+from .reader_redundancy import (
+    ReaderRedundancyResult,
+    run_reader_redundancy_experiment,
+)
+from .read_range import (
+    PAPER_DISTANCES_M,
+    ReadRangePoint,
+    build_tag_plane,
+    run_read_range_experiment,
+)
+
+__all__ = [
+    "MATERIAL_CASES",
+    "MaterialStudyResult",
+    "build_material_cart",
+    "run_materials_study",
+    "ReaderRedundancyResult",
+    "run_reader_redundancy_experiment",
+    "PLACEMENT_SETS",
+    "TABLE4_CASES",
+    "TABLE5_CASES",
+    "HumanPlacementResult",
+    "HumanRedundancyCase",
+    "HumanRedundancyOutcome",
+    "build_walk",
+    "run_human_redundancy_experiment",
+    "run_table2_experiment",
+    "TABLE1_LOCATIONS",
+    "TABLE3_CASES",
+    "ObjectTrackingResult",
+    "RedundancyCase",
+    "RedundancyOutcome",
+    "build_box_cart",
+    "run_object_redundancy_experiment",
+    "run_table1_experiment",
+    "PAPER_SPACINGS_M",
+    "OrientationSpacingPoint",
+    "build_tag_row",
+    "minimum_safe_spacing",
+    "run_orientation_spacing_experiment",
+    "PAPER_DISTANCES_M",
+    "ReadRangePoint",
+    "build_tag_plane",
+    "run_read_range_experiment",
+]

@@ -1,0 +1,112 @@
+"""Figure 2 scenario: read reliability vs tag-antenna distance.
+
+The paper: 20 tags in a single plane parallel to the antenna (Figure 1
+grid, 12.5 cm x-pitch and 20 cm y-pitch — comfortably beyond coupling
+range), fixed facing the antenna, a single read per measurement,
+repeated 40 times per distance from 1 m to 10 m.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ...core.experiment import DEFAULT_SEED, run_trials
+from ...core.reliability import CountDistribution
+from ...protocol.epc import EpcFactory
+from ...rf.geometry import Vec3
+from ...sim.rng import SeedSequence
+from ..motion import StationaryPlacement
+from ..portal import single_antenna_portal
+from ..simulation import CarrierGroup, PassResult, PortalPassSimulator
+from ..tags import Tag, TagOrientation
+
+#: The paper's grid: 20 tags, 5 columns x 4 rows.
+GRID_COLUMNS = 5
+GRID_ROWS = 4
+X_PITCH_M = 0.125
+Y_PITCH_M = 0.20
+
+#: Airtime of one "single read" poll: one HTTP-triggered inventory
+#: cycle. 0.5 s resolves 20 unobstructed tags with margin.
+SINGLE_READ_WINDOW_S = 0.5
+
+PAPER_DISTANCES_M = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+PAPER_REPETITIONS = 40
+
+
+def build_tag_plane(distance_m: float) -> CarrierGroup:
+    """The 20-tag plane at ``distance_m`` from the antenna, facing it."""
+    if distance_m <= 0.0:
+        raise ValueError(f"distance must be positive, got {distance_m!r}")
+    factory = EpcFactory()
+    tags: List[Tag] = []
+    x0 = -(GRID_COLUMNS - 1) / 2.0 * X_PITCH_M
+    y0 = 1.0 - (GRID_ROWS - 1) / 2.0 * Y_PITCH_M
+    for row in range(GRID_ROWS):
+        for col in range(GRID_COLUMNS):
+            tags.append(
+                Tag(
+                    epc=factory.next_epc().to_hex(),
+                    local_position=Vec3(
+                        x0 + col * X_PITCH_M, y0 + row * Y_PITCH_M, 0.0
+                    ),
+                    orientation=TagOrientation.CASE_2_HORIZONTAL_FACING,
+                    label=f"grid-{row}-{col}",
+                )
+            )
+    return CarrierGroup(
+        motion=StationaryPlacement(
+            position=Vec3(0.0, 0.0, distance_m),
+            duration_s=SINGLE_READ_WINDOW_S,
+        ),
+        tags=tags,
+    )
+
+
+@dataclass
+class ReadRangePoint:
+    """Result at one distance: the tags-read distribution over repetitions."""
+
+    distance_m: float
+    distribution: CountDistribution
+
+    @property
+    def mean_tags_read(self) -> float:
+        return self.distribution.mean
+
+
+def run_read_range_experiment(
+    distances_m: Sequence[float] = PAPER_DISTANCES_M,
+    repetitions: int = PAPER_REPETITIONS,
+    seed: int = DEFAULT_SEED,
+    simulator: PortalPassSimulator = None,
+) -> Dict[float, ReadRangePoint]:
+    """Reproduce Figure 2: mean (and quartiles) of tags read per distance."""
+    from ...core.calibration import PaperSetup
+
+    setup = PaperSetup()
+    sim = simulator or PortalPassSimulator(
+        portal=single_antenna_portal(tx_power_dbm=setup.tx_power_dbm),
+        env=setup.env,
+        params=setup.params,
+    )
+    results: Dict[float, ReadRangePoint] = {}
+    for distance in distances_m:
+        carrier = build_tag_plane(distance)
+        epcs = [t.epc for t in carrier.tags]
+
+        def trial(seeds: SeedSequence, index: int) -> PassResult:
+            return sim.run_pass([carrier], seeds, index)
+
+        trial_set = run_trials(
+            f"read-range@{distance}m",
+            trial,
+            repetitions,
+            seed=seed ^ int(distance * 1000),
+        )
+        distribution = trial_set.count_distribution(
+            lambda r: r.tags_read(epcs), total=len(epcs)
+        )
+        results[distance] = ReadRangePoint(distance, distribution)
+    return results

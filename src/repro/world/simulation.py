@@ -1,0 +1,519 @@
+"""Portal pass simulation: physics + protocol, end to end.
+
+This module replaces the paper's lab: it takes a :class:`Portal`
+(antennas + readers), one or more :class:`CarrierGroup` objects (tags
+riding a motion profile together with their occluding geometry), and a
+calibrated :class:`SimulationParameters`, and produces the
+:class:`~repro.sim.trace.ReadTrace` a real reader would have reported.
+
+Per trial:
+
+1. shadowing is sampled once per (tag, antenna) link — trials differ
+   the way physical repetitions differ;
+2. the carrier moves along its motion profile while each reader runs
+   Gen 2 inventory rounds, TDMA-cycling its antennas;
+3. for every round, each candidate tag's link budget is evaluated at
+   the carrier's current position — occlusion chords through box
+   contents and bodies, mount detuning, inter-tag coupling, polarization
+   and pattern losses, plus a fresh small-scale fading draw — yielding
+   the tag's energization and decode probability for that round;
+4. with multiple readers and no dense-reader mode, each reader's
+   receive floor is raised by the other readers' coupled carriers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..protocol.dense_reader import (
+    CO_CHANNEL_DWELL_PROBABILITY,
+    ReaderRadio,
+    interference_at_receiver_dbm,
+)
+from ..protocol.gen2 import (
+    InventorySession,
+    QAlgorithm,
+    TagChannel,
+    run_inventory_round,
+)
+from ..protocol.timing import DEFAULT_TIMING, Gen2Timing
+from ..rf.coupling import CouplingModel
+from ..rf.geometry import Vec3, segment_sphere_chord_length
+from ..rf.link import LinkEnvironment, LinkGeometry, LinkResult, evaluate_link
+from ..rf.materials import Material
+from ..sim.events import TagReadEvent
+from ..sim.rng import SeedSequence
+from ..sim.trace import ReadTrace
+from .motion import LinearPass, StationaryPlacement
+from .portal import AntennaInstallation, Portal, ReaderAssignment
+from .tags import Tag
+
+Motion = Union[LinearPass, StationaryPlacement]
+
+
+@dataclass(frozen=True)
+class Occluder:
+    """A blocking blob riding with a carrier (box content, torso)."""
+
+    centre: Vec3
+    radius_m: float
+    material: Material
+    reflective: bool = False
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0.0:
+            raise ValueError(f"radius must be positive, got {self.radius_m!r}")
+
+
+@dataclass
+class CarrierGroup:
+    """Tags plus occluders sharing one motion profile.
+
+    ``tags`` and ``occluders`` positions are in the carrier frame;
+    world positions at time ``t`` add ``motion.position_at(t)``.
+
+    ``clutter_sigma_db`` models *carrier-local* multipath: scatterers
+    that ride along with the tags (the other metal boxes on the cart,
+    the carrier's own body). Because they move with the tag, the fade
+    they cause is frozen for the whole pass — one draw per (tag,
+    antenna, trial) — unlike the motion-decorrelated small-scale fading
+    of the fixed environment. This static component is what makes a
+    badly placed tag miss an *entire* pass rather than flicker.
+    """
+
+    motion: Motion
+    tags: List[Tag] = field(default_factory=list)
+    occluders: List[Occluder] = field(default_factory=list)
+    clutter_sigma_db: float = 0.0
+
+    def tag_world_position(self, tag: Tag, t: float) -> Vec3:
+        return self.motion.position_at(t) + tag.local_position
+
+    def occluder_world_centre(self, occluder: Occluder, t: float) -> Vec3:
+        return self.motion.position_at(t) + occluder.centre
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Calibration knobs of the pass simulator.
+
+    Values are set by :mod:`repro.core.calibration` to land the
+    single-opportunity reliabilities near the paper's Section 3
+    measurements; see that module for the rationale behind each number.
+    """
+
+    #: Cap on total through-material loss: energy diffracts around
+    #: obstacles, so even a router stack is not a perfect screen.
+    obstruction_cap_db: float = 25.0
+    #: Rician K-factor penalty (dB) per dB of obstruction loss: blocked
+    #: paths lose their line-of-sight component and fade harder.
+    k_penalty_per_obstruction_db: float = 0.5
+    #: Logistic slope (dB) mapping reverse-link margin to decode
+    #: probability; models coding/BER softness around the threshold.
+    decode_slope_db: float = 1.5
+    #: Receiver capture probability for 2-way collisions.
+    capture_probability: float = 0.1
+    #: TDMA dwell per antenna before the reader switches.
+    tdma_slot_s: float = 0.10
+    #: Chance per dwell that two non-DRM readers land co-channel.
+    co_channel_probability: float = CO_CHANNEL_DWELL_PROBABILITY
+    #: Inter-tag near-field coupling model.
+    coupling: CouplingModel = field(default_factory=CouplingModel)
+    #: Reflection bonus (dB) when a reflective occluder backs the tag.
+    reflection_gain_db: float = 4.0
+    #: How far behind the tag (m) a reflector still helps.
+    reflection_range_m: float = 1.2
+    #: Spatial coherence of small-scale fading: the channel decorrelates
+    #: only when the tag *moves* about half a wavelength (0.164 m at
+    #: 915 MHz). Stationary tags keep one fading realisation for a whole
+    #: trial; a 1 m/s cart sees a fresh one roughly every 0.16 s.
+    fading_coherence_m: float = 0.164
+
+
+@dataclass
+class PassResult:
+    """Everything observed during one portal pass (one trial)."""
+
+    trace: ReadTrace
+    duration_s: float
+    rounds: int
+
+    @property
+    def read_epcs(self) -> Set[str]:
+        return set(e.epc for e in self.trace)
+
+    def tags_read(self, epcs: Sequence[str]) -> int:
+        """How many of ``epcs`` were read at least once."""
+        seen = self.read_epcs
+        return sum(1 for epc in epcs if epc in seen)
+
+
+class PortalPassSimulator:
+    """Runs seeded portal passes for a fixed portal and link environment."""
+
+    def __init__(
+        self,
+        portal: Portal,
+        env: Optional[LinkEnvironment] = None,
+        params: Optional[SimulationParameters] = None,
+        timing: Gen2Timing = DEFAULT_TIMING,
+    ) -> None:
+        self.portal = portal
+        self.env = env if env is not None else LinkEnvironment()
+        self.params = params if params is not None else SimulationParameters()
+        self.timing = timing
+
+    # -- physics ---------------------------------------------------------
+
+    def _obstruction_db(
+        self,
+        carriers: Sequence[CarrierGroup],
+        antenna_pos: Vec3,
+        tag_pos: Vec3,
+        t: float,
+    ) -> Tuple[float, bool]:
+        """Total through-material loss on the antenna->tag path, capped.
+
+        Returns (loss_db, reflector_behind): the second element reports
+        whether a reflective occluder sits behind the tag (for the body
+        reflection bonus).
+        """
+        total = 0.0
+        reflector_behind = False
+        ray_dir = tag_pos - antenna_pos
+        ray_len = ray_dir.norm()
+        if ray_len < 1e-9:
+            return 0.0, False
+        ray_unit = ray_dir / ray_len
+        for carrier in carriers:
+            for occluder in carrier.occluders:
+                centre = carrier.occluder_world_centre(occluder, t)
+                chord = segment_sphere_chord_length(
+                    antenna_pos, tag_pos, centre, occluder.radius_m
+                )
+                if chord > 0.0:
+                    total += occluder.material.through_loss_db(chord)
+                elif occluder.reflective:
+                    # Is the occluder behind the tag along the ray?
+                    along = (centre - antenna_pos).dot(ray_unit)
+                    lateral = (
+                        (centre - antenna_pos) - ray_unit * along
+                    ).norm()
+                    behind_by = along - ray_len
+                    if (
+                        0.0 < behind_by <= self.params.reflection_range_m
+                        and lateral <= occluder.radius_m + 0.3
+                    ):
+                        reflector_behind = True
+        return min(total, self.params.obstruction_cap_db), reflector_behind
+
+    def _coupling_db(
+        self, carriers: Sequence[CarrierGroup], carrier: CarrierGroup, tag: Tag
+    ) -> float:
+        """Near-field coupling penalty from this carrier's other tags.
+
+        Carrier-local tag geometry is static, so distances at t=0 hold
+        for the whole pass.
+        """
+        positions = [t.local_position for t in carrier.tags]
+        axes = [t.world_dipole_axis() for t in carrier.tags]
+        index = next(
+            i for i, t in enumerate(carrier.tags) if t.epc == tag.epc
+        )
+        penalty = self.params.coupling.total_penalty_db(index, positions, axes)
+        return tag.coupling_factor() * penalty
+
+    def _evaluate_tag(
+        self,
+        carriers: Sequence[CarrierGroup],
+        carrier: CarrierGroup,
+        tag: Tag,
+        antenna: AntennaInstallation,
+        reader: ReaderAssignment,
+        t: float,
+        shadowing_db: float,
+        fading_gain: float,
+        interference_dbm: Optional[float],
+        coupling_db: float,
+    ) -> LinkResult:
+        """One full link-budget evaluation for a read attempt at time ``t``."""
+        tag_pos = carrier.tag_world_position(tag, t)
+        obstruction_db, reflector = self._obstruction_db(
+            carriers, antenna.position, tag_pos, t
+        )
+        gain_bonus = self.params.reflection_gain_db if reflector else 0.0
+        geometry = LinkGeometry(
+            antenna_position=antenna.position,
+            antenna_boresight=antenna.boresight,
+            tag_position=tag_pos,
+            tag_axis=tag.world_dipole_axis(),
+        )
+        tag_gain_override = None
+        if tag.design is not None:
+            # Alternative inlay: its own pattern replaces the stock
+            # dipole (note the arriving-wave direction is -direction).
+            tag_gain_override = tag.pattern_gain_dbi(-geometry.direction)
+        return evaluate_link(
+            self.env,
+            reader.tx_power_dbm + gain_bonus,
+            geometry,
+            obstruction_loss_db=obstruction_db,
+            tag_detuning_db=tag.detuning_db(),
+            coupling_penalty_db=coupling_db,
+            shadowing_db=shadowing_db,
+            fading_power_gain=fading_gain,
+            interference_dbm=interference_dbm,
+            tag_gain_override_dbi=tag_gain_override,
+        )
+
+    def _decode_probability(self, result: LinkResult) -> float:
+        """Map the reverse margin to a per-reply decode probability."""
+        if not result.activated:
+            return 0.0
+        slope = self.params.decode_slope_db
+        margin = result.reverse_margin_db
+        # Logistic centred at 0 margin; slope in dB per e-fold.
+        return 1.0 / (1.0 + math.exp(-margin / slope))
+
+    # -- the pass loop ----------------------------------------------------
+
+    def run_pass(
+        self,
+        carriers: Sequence[CarrierGroup],
+        seeds: SeedSequence,
+        trial: int,
+    ) -> PassResult:
+        """Simulate one complete pass (one physical repetition).
+
+        Parameters
+        ----------
+        carriers:
+            Everything moving through the portal together.
+        seeds:
+            Root seed container; all randomness below derives from it.
+        trial:
+            Repetition index; distinct trials get independent shadowing
+            and fading but share the deterministic geometry.
+        """
+        all_tags: List[Tuple[CarrierGroup, Tag]] = [
+            (carrier, tag) for carrier in carriers for tag in carrier.tags
+        ]
+        if not all_tags:
+            raise ValueError("no tags in any carrier group")
+        epc_index: Dict[str, Tuple[CarrierGroup, Tag]] = {}
+        for carrier, tag in all_tags:
+            if tag.epc in epc_index:
+                raise ValueError(f"duplicate EPC in pass: {tag.epc}")
+            epc_index[tag.epc] = (carrier, tag)
+        population = list(epc_index.keys())
+        duration = max(c.motion.duration_s for c in carriers)
+
+        # Static per-tag coupling penalties.
+        coupling_db: Dict[str, float] = {
+            tag.epc: self._coupling_db(carriers, carrier, tag)
+            for carrier, tag in all_tags
+        }
+        # Per-trial static fade per (tag, antenna) link: environment
+        # shadowing (independent per antenna — different sight lines
+        # through the fixed environment) plus carrier-local clutter,
+        # which is a property of how the tag sits among its co-moving
+        # scatterers and is therefore COMMON to every antenna. The
+        # shared component is why antenna-level redundancy underperforms
+        # the independence model (paper Table 3: measured 86% vs
+        # calculated 96%) while tag-level redundancy matches it.
+        clutter: Dict[str, float] = {}
+        for carrier, tag in all_tags:
+            if carrier.clutter_sigma_db > 0.0:
+                stream = seeds.trial_stream(f"clutter:{tag.epc}", trial)
+                clutter[tag.epc] = stream.gauss(0.0, carrier.clutter_sigma_db)
+            else:
+                clutter[tag.epc] = 0.0
+        shadowing: Dict[Tuple[str, str], float] = {}
+        for antenna in self.portal.all_antennas:
+            for carrier, tag in all_tags:
+                stream = seeds.trial_stream(
+                    f"shadow:{tag.epc}:{antenna.antenna_id}", trial
+                )
+                shadowing[(tag.epc, antenna.antenna_id)] = (
+                    self.env.channel.shadowing.sample_db(stream)
+                    + clutter[tag.epc]
+                )
+
+        trace = ReadTrace()
+        total_rounds = 0
+        interference_rng = seeds.trial_stream("interference", trial)
+
+        # Each reader runs its own inventory timeline; simultaneous
+        # readers interfere but do not share airtime. Traces merge at
+        # the end (the back-end sees the union).
+        reader_traces: List[List[TagReadEvent]] = []
+        for reader in self.portal.readers:
+            events, rounds = self._run_reader_timeline(
+                reader,
+                carriers,
+                epc_index,
+                population,
+                coupling_db,
+                shadowing,
+                seeds,
+                trial,
+                duration,
+                interference_rng,
+            )
+            reader_traces.append(events)
+            total_rounds += rounds
+
+        merged = sorted(
+            (e for events in reader_traces for e in events), key=lambda e: e.time
+        )
+        for event in merged:
+            trace.record(event)
+        return PassResult(trace=trace, duration_s=duration, rounds=total_rounds)
+
+    def _run_reader_timeline(
+        self,
+        reader: ReaderAssignment,
+        carriers: Sequence[CarrierGroup],
+        epc_index: Dict[str, Tuple[CarrierGroup, Tag]],
+        population: List[str],
+        coupling_db: Dict[str, float],
+        shadowing: Dict[Tuple[str, str], float],
+        seeds: SeedSequence,
+        trial: int,
+        duration: float,
+        interference_rng,
+    ) -> Tuple[List[TagReadEvent], int]:
+        """One reader's full pass: TDMA over its antennas, round after round."""
+        protocol_rng = seeds.trial_stream(f"protocol:{reader.reader_id}", trial)
+        session = InventorySession()
+        q_algo = QAlgorithm()
+        events: List[TagReadEvent] = []
+        rounds = 0
+        t = 0.0
+        antennas = list(reader.antennas)
+        other_radios = self._other_radios(reader)
+
+        while t < duration:
+            antenna = antennas[
+                int(t / self.params.tdma_slot_s) % len(antennas)
+            ]
+            interference = self._interference_for(
+                reader, antenna, other_radios, interference_rng
+            )
+            last_result: Dict[str, LinkResult] = {}
+
+            def channel(epc: str) -> TagChannel:
+                carrier, tag = epc_index[epc]
+                fading = self.env.channel.fading
+                # Evaluate obstruction first (it degrades the K-factor),
+                # then draw fading from the degraded channel. The draw is
+                # deterministic per (trial, link, coherence cell): the
+                # channel of a static geometry does not re-roll itself —
+                # only motion across ~lambda/2 decorrelates it.
+                tag_pos = carrier.tag_world_position(tag, t)
+                obstruction_db, _ = self._obstruction_db(
+                    carriers, antenna.position, tag_pos, t
+                )
+                obstructed_k_penalty = (
+                    obstruction_db * self.params.k_penalty_per_obstruction_db
+                )
+                cell = self.params.fading_coherence_m
+                bin_key = (
+                    int(tag_pos.x // cell),
+                    int(tag_pos.y // cell),
+                    int(tag_pos.z // cell),
+                )
+                fading_rng = seeds.trial_stream(
+                    f"fading:{reader.reader_id}:{antenna.antenna_id}:{epc}:"
+                    f"{bin_key[0]}:{bin_key[1]}:{bin_key[2]}",
+                    trial,
+                )
+                fading_gain = fading.degraded(
+                    obstructed_k_penalty
+                ).sample_power_gain(fading_rng)
+                result = self._evaluate_tag(
+                    carriers,
+                    carrier,
+                    tag,
+                    antenna,
+                    reader,
+                    t,
+                    shadowing[(epc, antenna.antenna_id)],
+                    fading_gain,
+                    interference,
+                    coupling_db[epc],
+                )
+                last_result[epc] = result
+                return TagChannel(
+                    energized=result.activated,
+                    reply_decode_p=self._decode_probability(result),
+                )
+
+            round_result = run_inventory_round(
+                population,
+                channel,
+                protocol_rng,
+                q_algo,
+                session=session,
+                timing=self.timing,
+                start_time=t,
+                time_budget_s=duration - t,
+                capture_probability=self.params.capture_probability,
+            )
+            rounds += 1
+            for epc in round_result.read_epcs:
+                result = last_result.get(epc)
+                rssi = result.reverse_power_dbm if result else -99.0
+                events.append(
+                    TagReadEvent(
+                        time=round_result.read_times[epc],
+                        epc=epc,
+                        reader_id=reader.reader_id,
+                        antenna_id=antenna.antenna_id,
+                        rssi_dbm=rssi,
+                    )
+                )
+            # Advance by the airtime the round consumed (at least one
+            # Query even if the field was empty).
+            t += max(round_result.duration_s, self.timing.query_s)
+        return events, rounds
+
+    def _other_radios(self, reader: ReaderAssignment) -> List[ReaderRadio]:
+        """Radios of every *other* reader in the portal (the aggressors)."""
+        radios = []
+        for other in self.portal.readers:
+            if other.reader_id == reader.reader_id:
+                continue
+            for antenna in other.antennas:
+                radios.append(
+                    ReaderRadio(
+                        reader_id=other.reader_id,
+                        position=antenna.position,
+                        tx_power_dbm=other.tx_power_dbm,
+                        antenna_gain_dbi=self.env.reader_antenna.boresight_gain_dbi,
+                        dense_reader_mode=other.dense_reader_mode,
+                    )
+                )
+        return radios
+
+    def _interference_for(
+        self,
+        reader: ReaderAssignment,
+        antenna: AntennaInstallation,
+        aggressors: List[ReaderRadio],
+        rng,
+    ) -> Optional[float]:
+        """In-band interference at this reader's receiver for one dwell."""
+        if not aggressors:
+            return None
+        victim = ReaderRadio(
+            reader_id=reader.reader_id,
+            position=antenna.position,
+            tx_power_dbm=reader.tx_power_dbm,
+            antenna_gain_dbi=self.env.reader_antenna.boresight_gain_dbi,
+            dense_reader_mode=reader.dense_reader_mode,
+        )
+        co_channel = rng.bernoulli(self.params.co_channel_probability)
+        return interference_at_receiver_dbm(victim, aggressors, co_channel)

@@ -1,0 +1,101 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.analysis.figures import Series, line_plot, sparkline
+
+
+class TestSeries:
+    def test_valid(self):
+        s = Series("x", (1.0, 2.0), (3.0, 4.0))
+        assert s.name == "x"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Series("x", (1.0,), (1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (), ())
+
+    def test_multichar_marker_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1.0,), (1.0,), marker="**")
+
+
+class TestLinePlot:
+    def test_contains_title_and_legend(self):
+        plot = line_plot(
+            "Figure 2",
+            [Series("measured", (1.0, 5.0, 9.0), (20.0, 13.0, 1.5))],
+        )
+        assert "Figure 2" in plot
+        assert "* = measured" in plot
+
+    def test_axis_labels(self):
+        plot = line_plot(
+            "t", [Series("s", (1.0, 9.0), (0.0, 20.0))]
+        )
+        assert "20" in plot
+        assert "9" in plot
+
+    def test_marker_positions_reflect_trend(self):
+        plot = line_plot(
+            "t",
+            [Series("s", (0.0, 10.0), (0.0, 10.0))],
+            width=20,
+            height=10,
+        )
+        rows = [line for line in plot.splitlines() if "|" in line]
+        # Rising series: the top row holds the right-most marker.
+        top = rows[0]
+        bottom = rows[-1]
+        assert "*" in top and "*" in bottom
+        assert top.rindex("*") > bottom.index("*")
+
+    def test_two_series_two_markers(self):
+        plot = line_plot(
+            "t",
+            [
+                Series("a", (0.0, 1.0), (0.0, 1.0), marker="a"),
+                Series("b", (0.0, 1.0), (1.0, 0.0), marker="b"),
+            ],
+        )
+        assert "a = a" in plot and "b = b" in plot
+
+    def test_degenerate_ranges_handled(self):
+        plot = line_plot("t", [Series("s", (1.0, 1.0), (2.0, 2.0))])
+        assert "*" in plot
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot("t", [])
+
+    def test_tiny_grid_rejected(self):
+        with pytest.raises(ValueError):
+            line_plot("t", [Series("s", (0.0,), (0.0,))], width=5, height=2)
+
+    def test_pinned_y_range(self):
+        plot = line_plot(
+            "t",
+            [Series("s", (0.0, 1.0), (0.4, 0.6))],
+            y_min=0.0,
+            y_max=1.0,
+        )
+        assert plot.splitlines()[2].lstrip().startswith("1")
+
+
+class TestSparkline:
+    def test_length(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_monotone_shape(self):
+        line = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert line == "".join(sorted(line))
+
+    def test_constant_series(self):
+        assert len(set(sparkline([2.0, 2.0, 2.0]))) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sparkline([])

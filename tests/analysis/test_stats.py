@@ -1,0 +1,132 @@
+"""Tests for summary statistics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.stats import (
+    bootstrap_interval,
+    mean,
+    monotone_decreasing,
+    quantile,
+    quartiles,
+    relative_error,
+    stddev,
+    variance,
+)
+
+float_lists = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance(self):
+        assert variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(4.571, abs=1e-3)
+        )
+
+    def test_variance_needs_two(self):
+        with pytest.raises(ValueError):
+            variance([1.0])
+
+    def test_stddev(self):
+        assert stddev([1.0, 3.0]) == pytest.approx(2.0 ** 0.5)
+
+    @given(float_lists)
+    def test_mean_within_range(self, values):
+        assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6
+
+
+class TestQuantiles:
+    def test_median(self):
+        assert quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 10.0], 0.25) == pytest.approx(2.5)
+
+    def test_bounds(self):
+        values = [5.0, 1.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            quantile([1.0], 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+    def test_quartiles_ordered(self):
+        q1, q2, q3 = quartiles([5.0, 1.0, 9.0, 3.0, 7.0])
+        assert q1 <= q2 <= q3
+
+    @given(float_lists, st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_within_range(self, values, q):
+        result = quantile(values, q)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9
+
+
+class TestBootstrap:
+    def test_interval_contains_point(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0] * 4
+        ci = bootstrap_interval(values, resamples=200)
+        assert ci.low <= ci.point <= ci.high
+
+    def test_deterministic_given_seed(self):
+        values = [1.0, 5.0, 3.0, 2.0]
+        a = bootstrap_interval(values, resamples=100, seed=7)
+        b = bootstrap_interval(values, resamples=100, seed=7)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_width_shrinks_with_sample_size(self):
+        import random
+
+        rng = random.Random(1)
+        small = [rng.gauss(0, 1) for _ in range(10)]
+        large = [rng.gauss(0, 1) for _ in range(400)]
+        assert (
+            bootstrap_interval(large, resamples=200).width
+            < bootstrap_interval(small, resamples=200).width
+        )
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_interval([])
+        with pytest.raises(ValueError):
+            bootstrap_interval([1.0], resamples=5)
+        with pytest.raises(ValueError):
+            bootstrap_interval([1.0], confidence=1.0)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference_nonzero_measured(self):
+        assert relative_error(1.0, 0.0) == float("inf")
+
+    def test_zero_both(self):
+        assert relative_error(0.0, 0.0) == 0.0
+
+
+class TestMonotone:
+    def test_strictly_decreasing(self):
+        assert monotone_decreasing([5.0, 4.0, 3.0])
+
+    def test_rising_fails(self):
+        assert not monotone_decreasing([3.0, 4.0])
+
+    def test_slack_allows_noise(self):
+        assert monotone_decreasing([5.0, 4.0, 4.5, 3.0], slack=1.0)
+
+    def test_negative_slack_rejected(self):
+        with pytest.raises(ValueError):
+            monotone_decreasing([1.0], slack=-0.1)

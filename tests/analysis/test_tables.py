@@ -1,0 +1,102 @@
+"""Tests for ASCII table/figure rendering."""
+
+import pytest
+
+from repro.analysis.tables import (
+    PaperComparison,
+    Table,
+    bar_chart,
+    comparison_report,
+    percent,
+)
+
+
+class TestTable:
+    def test_render_contains_everything(self):
+        table = Table("Table 1", headers=("Location", "Reliability"))
+        table.add_row("Front", "87%")
+        table.add_row("Top", "29%")
+        text = table.render()
+        assert "Table 1" in text
+        assert "Front" in text
+        assert "29%" in text
+        assert "Location" in text
+
+    def test_row_width_mismatch(self):
+        table = Table("x", headers=("a", "b"))
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_cells_stringified(self):
+        table = Table("x", headers=("a",))
+        table.add_row(0.5)
+        assert "0.5" in table.render()
+
+    def test_columns_aligned(self):
+        table = Table("x", headers=("a", "b"))
+        table.add_row("wide-cell-value", "y")
+        lines = table.render().splitlines()
+        header, rule, row = lines[2], lines[3], lines[4]
+        assert header.index("|") == row.index("|")
+
+
+class TestPercent:
+    def test_formats_like_paper(self):
+        assert percent(0.87) == "87%"
+
+    def test_decimals(self):
+        assert percent(0.999, decimals=1) == "99.9%"
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percent(1.5)
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_series(self):
+        text = bar_chart(
+            "Figure 5",
+            labels=["1 ant, 1 tag", "2 ant, 2 tags"],
+            series=[[0.8, 1.0], [0.8, 0.999]],
+            series_names=["Measured", "Calculated"],
+        )
+        assert "Figure 5" in text
+        assert "Measured" in text
+        assert "100%" in text
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("x", ["a"], [[0.5]], ["s1", "s2"])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("x", ["a", "b"], [[0.5]], ["s1"])
+
+    def test_out_of_range_value_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart("x", ["a"], [[1.5]], ["s1"])
+
+    def test_bar_length_scales(self):
+        text = bar_chart("x", ["a"], [[0.5]], ["s"], width=10)
+        assert "#####....." in text
+
+
+class TestPaperComparison:
+    def test_within_tolerance(self):
+        comparison = PaperComparison("front", 0.87, 0.85, tolerance=0.10)
+        assert comparison.within_tolerance
+        assert "OK" in comparison.render()
+
+    def test_outside_tolerance(self):
+        comparison = PaperComparison("top", 0.29, 0.80, tolerance=0.10)
+        assert not comparison.within_tolerance
+        assert "OFF" in comparison.render()
+
+    def test_report_counts(self):
+        report = comparison_report(
+            [
+                PaperComparison("a", 0.5, 0.5, 0.1),
+                PaperComparison("b", 0.5, 0.9, 0.1),
+            ]
+        )
+        assert "1/2 within tolerance" in report

@@ -1,0 +1,158 @@
+"""Tests for trace analytics."""
+
+import pytest
+
+from repro.analysis.trace_stats import (
+    PassProfile,
+    RssiSummary,
+    antenna_balance,
+    antenna_utilization,
+    inter_read_gaps,
+    read_rate_over_time,
+)
+from repro.sim.events import TagReadEvent
+from repro.sim.trace import ReadTrace
+
+
+def _trace(spec):
+    """spec: iterable of (time, epc_letter, antenna, rssi)."""
+    trace = ReadTrace()
+    for t, letter, antenna, rssi in spec:
+        trace.record(
+            TagReadEvent(t, letter * 24, "r0", antenna, rssi_dbm=rssi)
+        )
+    return trace
+
+
+class TestRssiSummary:
+    def test_summary(self):
+        trace = _trace(
+            [(0.0, "A", "a0", -70.0), (1.0, "A", "a0", -50.0),
+             (2.0, "B", "a0", -60.0)]
+        )
+        summary = RssiSummary.from_trace(trace)
+        assert summary.count == 3
+        assert summary.min_dbm == -70.0
+        assert summary.max_dbm == -50.0
+        assert summary.median_dbm == -60.0
+
+    def test_empty_trace(self):
+        assert RssiSummary.from_trace(ReadTrace()) is None
+
+
+class TestReadRate:
+    def test_bucket_counts(self):
+        trace = _trace(
+            [(0.1, "A", "a0", -60.0), (0.2, "A", "a0", -60.0),
+             (0.9, "B", "a0", -60.0)]
+        )
+        rate = read_rate_over_time(trace, duration_s=1.0, buckets=2)
+        assert rate == [2, 1]
+
+    def test_event_at_duration_lands_in_last(self):
+        trace = _trace([(1.0, "A", "a0", -60.0)])
+        rate = read_rate_over_time(trace, duration_s=1.0, buckets=4)
+        assert rate[-1] == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            read_rate_over_time(ReadTrace(), 1.0, buckets=0)
+        with pytest.raises(ValueError):
+            read_rate_over_time(ReadTrace(), 0.0)
+
+    def test_total_preserved(self):
+        trace = _trace([(i / 10, "A", "a0", -60.0) for i in range(10)])
+        assert sum(read_rate_over_time(trace, 1.0, 7)) == 10
+
+
+class TestAntennaStats:
+    def test_utilization(self):
+        trace = _trace(
+            [(0.0, "A", "a0", -60.0), (0.5, "A", "a1", -60.0),
+             (1.0, "B", "a1", -60.0)]
+        )
+        utilization = antenna_utilization(trace)
+        assert utilization[("r0", "a0")] == 1
+        assert utilization[("r0", "a1")] == 2
+
+    def test_balance(self):
+        trace = _trace(
+            [(0.0, "A", "a0", -60.0), (0.5, "A", "a1", -60.0),
+             (1.0, "B", "a1", -60.0)]
+        )
+        assert antenna_balance(trace) == pytest.approx(0.5)
+
+    def test_balance_single_antenna(self):
+        trace = _trace([(0.0, "A", "a0", -60.0)])
+        assert antenna_balance(trace) == 1.0
+
+    def test_balance_empty(self):
+        assert antenna_balance(ReadTrace()) is None
+
+
+class TestGaps:
+    def test_gaps(self):
+        trace = _trace(
+            [(0.0, "A", "a0", -60.0), (0.4, "A", "a0", -60.0),
+             (1.0, "A", "a0", -60.0), (0.0, "B", "a0", -60.0)][:3]
+        )
+        assert inter_read_gaps(trace, "A" * 24) == [
+            pytest.approx(0.4),
+            pytest.approx(0.6),
+        ]
+
+    def test_no_reads_no_gaps(self):
+        assert inter_read_gaps(ReadTrace(), "A" * 24) == []
+
+
+class TestPassProfile:
+    def test_profile(self):
+        trace = _trace(
+            [(0.1, "A", "a0", -65.0), (0.15, "B", "a1", -55.0),
+             (0.9, "A", "a0", -60.0)]
+        )
+        profile = PassProfile.from_trace(trace, duration_s=1.0, buckets=10)
+        assert profile.total_reads == 3
+        assert profile.unique_tags == 2
+        # Reads at 0.1 and 0.15 share bucket [0.1, 0.2): the busiest.
+        assert profile.busiest_bucket == 1
+        assert profile.read_window_fraction == pytest.approx(0.2)
+        assert profile.balance == pytest.approx(0.5)
+
+    def test_render(self):
+        trace = _trace([(0.1, "A", "a0", -65.0)])
+        text = PassProfile.from_trace(trace, 1.0).render()
+        assert "reads: 1" in text
+        assert "rssi" in text
+
+    def test_real_pass_profile(self):
+        """End-to-end: profile an actual simulated pass."""
+        from repro.core.calibration import PaperSetup
+        from repro.protocol.epc import EpcFactory
+        from repro.rf.geometry import Vec3
+        from repro.sim.rng import SeedSequence
+        from repro.world.motion import LinearPass
+        from repro.world.portal import dual_antenna_portal
+        from repro.world.simulation import CarrierGroup, PortalPassSimulator
+        from repro.world.tags import Tag
+
+        setup = PaperSetup()
+        sim = PortalPassSimulator(
+            portal=dual_antenna_portal(), env=setup.env, params=setup.params
+        )
+        factory = EpcFactory()
+        carrier = CarrierGroup(
+            motion=LinearPass.centered_lane_pass(height_m=0.0),
+            tags=[
+                Tag(
+                    epc=factory.next_epc().to_hex(),
+                    local_position=Vec3(i * 0.2 - 0.3, 1.0, 0.0),
+                )
+                for i in range(4)
+            ],
+        )
+        result = sim.run_pass([carrier], SeedSequence(3), 0)
+        profile = PassProfile.from_trace(result.trace, result.duration_s)
+        assert profile.unique_tags >= 3
+        assert profile.rssi is not None
+        assert profile.rssi.median_dbm < -20.0

@@ -1,0 +1,9 @@
+"""Shared pytest configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: integration tests that run the full pass simulator"
+    )

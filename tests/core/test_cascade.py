@@ -1,0 +1,122 @@
+"""Tests for the cascaded macro-tag baseline."""
+
+import pytest
+
+from repro.core.cascade import (
+    CascadeHierarchy,
+    MacroTag,
+    cascade_item_reliability,
+    expected_items_lost_jointly,
+)
+
+
+def _macro(epc="M0", level="case", manifest=("i1", "i2")):
+    return MacroTag(epc=epc, level=level, manifest=frozenset(manifest))
+
+
+class TestMacroTag:
+    def test_valid(self):
+        macro = _macro()
+        assert macro.level == "case"
+
+    def test_empty_manifest_rejected(self):
+        with pytest.raises(ValueError):
+            MacroTag("M0", "case", frozenset())
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(ValueError):
+            MacroTag("M0", "case", frozenset({"M0", "i1"}))
+
+
+class TestHierarchy:
+    def test_plain_item_resolves_to_itself(self):
+        hierarchy = CascadeHierarchy()
+        assert hierarchy.resolve("i1") == frozenset({"i1"})
+
+    def test_macro_resolves_manifest(self):
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(_macro())
+        assert hierarchy.resolve("M0") == frozenset({"i1", "i2"})
+
+    def test_nested_macros_expand(self):
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(MacroTag("case1", "case", frozenset({"i1", "i2"})))
+        hierarchy.add(MacroTag("case2", "case", frozenset({"i3"})))
+        hierarchy.add(MacroTag("pallet", "pallet", frozenset({"case1", "case2"})))
+        assert hierarchy.resolve("pallet") == frozenset({"i1", "i2", "i3"})
+
+    def test_duplicate_macro_rejected(self):
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(_macro())
+        with pytest.raises(ValueError):
+            hierarchy.add(_macro())
+
+    def test_cycle_detected(self):
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(MacroTag("A", "case", frozenset({"B"})))
+        hierarchy.add(MacroTag("B", "case", frozenset({"A"})))
+        with pytest.raises(ValueError, match="cycle"):
+            hierarchy.resolve("A")
+
+    def test_identified_items_unions_reads(self):
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(_macro("M0", manifest=("i1", "i2")))
+        items = hierarchy.identified_items({"M0", "i9"})
+        assert items == frozenset({"i1", "i2", "i9"})
+
+    def test_macro_read_covers_unread_items(self):
+        """The cascade's value: one good macro read identifies every
+        item even when no item tag was read."""
+        hierarchy = CascadeHierarchy()
+        hierarchy.add(_macro("M0", manifest=("i1", "i2", "i3", "i4")))
+        assert len(hierarchy.identified_items({"M0"})) == 4
+
+
+class TestAnalyticalModel:
+    def test_macro_boosts_item_reliability(self):
+        base = 0.63
+        boosted = cascade_item_reliability(base, macro_reliability=0.95)
+        assert boosted > base
+        assert boosted == pytest.approx(1 - (1 - 0.63) * (1 - 0.95))
+
+    def test_zero_macros_is_item_only(self):
+        assert cascade_item_reliability(0.7, 0.9, macros_covering_item=0) == (
+            pytest.approx(0.7)
+        )
+
+    def test_invalid_macro_count(self):
+        with pytest.raises(ValueError):
+            cascade_item_reliability(0.5, 0.5, macros_covering_item=-1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            cascade_item_reliability(1.5, 0.5)
+
+    def test_joint_loss_grows_with_case_size(self):
+        small = expected_items_lost_jointly(4, 0.63, 0.95)
+        large = expected_items_lost_jointly(40, 0.63, 0.95)
+        assert large > small
+
+    def test_joint_loss_zero_for_perfect_macro(self):
+        assert expected_items_lost_jointly(10, 0.63, 1.0) == 0.0
+
+    def test_joint_loss_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            expected_items_lost_jointly(0, 0.5, 0.5)
+        with pytest.raises(ValueError):
+            expected_items_lost_jointly(5, -0.1, 0.5)
+
+    def test_cascade_vs_identical_tags_tradeoff(self):
+        """Cascade beats a second identical tag on marginal reliability
+        when the macro is much better placed, but identical-tag
+        redundancy has no joint-failure mode — the reason the paper
+        studies identical tags."""
+        item_p = 0.63
+        macro_p = 0.95
+        cascade = cascade_item_reliability(item_p, macro_p)
+        from repro.core.redundancy import combined_reliability
+
+        identical = combined_reliability([item_p, item_p])
+        assert cascade > identical  # better marginal reliability...
+        # ...but a correlated loss burst exists for the cascade:
+        assert expected_items_lost_jointly(12, item_p, macro_p) > 0.0

@@ -1,0 +1,110 @@
+"""Tests for sequential reliability certification (SPRT)."""
+
+import pytest
+
+from repro.core.certification import SequentialCertifier, Verdict
+from repro.sim.rng import RandomStream
+
+
+def _certifier(**kwargs):
+    defaults = dict(p_good=0.99, p_bad=0.90, alpha=0.05, beta=0.05)
+    defaults.update(kwargs)
+    return SequentialCertifier(**defaults)
+
+
+class TestValidation:
+    def test_thresholds_ordered(self):
+        with pytest.raises(ValueError):
+            SequentialCertifier(p_good=0.9, p_bad=0.95)
+
+    def test_error_rates_bounded(self):
+        with pytest.raises(ValueError):
+            _certifier(alpha=0.6)
+        with pytest.raises(ValueError):
+            _certifier(beta=0.0)
+
+    def test_boundaries_ordered(self):
+        certifier = _certifier()
+        assert certifier.lower_boundary < 0.0 < certifier.upper_boundary
+
+
+class TestDecisions:
+    def test_perfect_portal_accepted(self):
+        certifier = _certifier()
+        verdict = certifier.observe_many([True] * 500)
+        assert verdict is Verdict.ACCEPT
+
+    def test_broken_portal_rejected(self):
+        certifier = _certifier()
+        verdict = certifier.observe_many([True, False] * 100)
+        assert verdict is Verdict.REJECT
+
+    def test_stops_early_on_decision(self):
+        certifier = _certifier()
+        certifier.observe_many([False] * 100)
+        assert certifier.trials < 100
+
+    def test_continue_before_evidence(self):
+        certifier = _certifier()
+        assert certifier.verdict() is Verdict.CONTINUE
+        certifier.observe(True)
+        assert certifier.verdict() is Verdict.CONTINUE
+
+    def test_counters(self):
+        certifier = _certifier()
+        certifier.observe(True)
+        certifier.observe(False)
+        assert certifier.trials == 2
+        assert certifier.successes == 1
+        assert certifier.observed_rate == pytest.approx(0.5)
+
+    def test_rate_none_before_trials(self):
+        assert _certifier().observed_rate is None
+
+    def test_reset(self):
+        certifier = _certifier()
+        certifier.observe_many([False] * 50)
+        certifier.reset()
+        assert certifier.trials == 0
+        assert certifier.verdict() is Verdict.CONTINUE
+
+
+class TestStatisticalBehaviour:
+    def _simulate(self, true_p, seed):
+        rng = RandomStream(seed)
+        certifier = _certifier()
+        while certifier.verdict() is Verdict.CONTINUE and certifier.trials < 5000:
+            certifier.observe(rng.bernoulli(true_p))
+        return certifier
+
+    def test_good_portals_mostly_accepted(self):
+        accepts = sum(
+            1
+            for seed in range(40)
+            if self._simulate(0.995, seed).verdict() is Verdict.ACCEPT
+        )
+        assert accepts >= 36  # alpha = 5%
+
+    def test_bad_portals_mostly_rejected(self):
+        rejects = sum(
+            1
+            for seed in range(40)
+            if self._simulate(0.85, seed).verdict() is Verdict.REJECT
+        )
+        assert rejects >= 36  # beta = 5%
+
+    def test_sequential_beats_fixed_sample(self):
+        """The selling point: clear-cut portals decide in far fewer
+        trials than a fixed-sample design would need (~hundreds for
+        distinguishing 99% from 90% at these error rates)."""
+        trial_counts = [
+            self._simulate(0.999, seed).trials for seed in range(20)
+        ]
+        assert sum(trial_counts) / len(trial_counts) < 100
+
+    def test_expected_trials_formula_plausible(self):
+        certifier = _certifier()
+        expectation = certifier.expected_trials_if_good()
+        observed = [self._simulate(0.99, seed).trials for seed in range(30)]
+        mean = sum(observed) / len(observed)
+        assert 0.3 * expectation <= mean <= 3.0 * expectation

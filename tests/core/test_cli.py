@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import io
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            "read-range",
+            "table1",
+            "table2",
+            "table3",
+            "reader-redundancy",
+            "plan",
+            "report",
+        ):
+            args = parser.parse_args(
+                [command] if command in ("plan", "report") else [command, "--reps", "1"]
+            )
+            assert callable(args.handler)
+
+    def test_common_flags(self):
+        args = build_parser().parse_args(["table1", "--reps", "3", "--seed", "7"])
+        assert args.reps == 3
+        assert args.seed == 7
+
+
+class TestPlanCommand:
+    def test_plan_prints_table(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["plan", "--target", "0.99"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "tags per object" in output
+        assert "predicted reliability" in output
+
+    def test_plan_human_domain(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["plan", "--target", "0.95", "--domain", "human"])
+        assert code == 0
+
+    def test_unreachable_target_fails_cleanly(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(
+                ["plan", "--target", "0.99999999", "--max-antennas", "1"]
+            )
+        assert code == 1
+
+
+@pytest.mark.slow
+class TestExperimentCommands:
+    def test_table1_small(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["table1", "--reps", "1"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "front" in output
+        assert "Paper" in output
+
+    def test_reader_redundancy_small(self):
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            code = main(["reader-redundancy", "--reps", "3"])
+        output = buffer.getvalue()
+        assert code == 0
+        assert "no DRM" in output

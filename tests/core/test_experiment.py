@@ -1,0 +1,83 @@
+"""Tests for the repeated-trial experiment runner."""
+
+import pytest
+
+from repro.core.experiment import TrialSet, run_trials, sweep
+from repro.sim.rng import SeedSequence
+
+
+class TestRunTrials:
+    def test_runs_requested_repetitions(self):
+        trials = run_trials("t", lambda seeds, i: i, repetitions=7)
+        assert len(trials) == 7
+        assert trials.outcomes == list(range(7))
+
+    def test_label_kept(self):
+        assert run_trials("my-label", lambda s, i: i, 1).label == "my-label"
+
+    def test_zero_repetitions_rejected(self):
+        with pytest.raises(ValueError):
+            run_trials("t", lambda s, i: i, 0)
+
+    def test_reproducible_with_seed(self):
+        def trial(seeds: SeedSequence, index: int) -> float:
+            return seeds.trial_stream("x", index).random()
+
+        a = run_trials("t", trial, 5, seed=123)
+        b = run_trials("t", trial, 5, seed=123)
+        assert a.outcomes == b.outcomes
+
+    def test_different_seeds_differ(self):
+        def trial(seeds: SeedSequence, index: int) -> float:
+            return seeds.trial_stream("x", index).random()
+
+        a = run_trials("t", trial, 5, seed=123)
+        b = run_trials("t", trial, 5, seed=456)
+        assert a.outcomes != b.outcomes
+
+    def test_trials_statistically_independent(self):
+        def trial(seeds: SeedSequence, index: int) -> float:
+            return seeds.trial_stream("x", index).random()
+
+        outcomes = run_trials("t", trial, 50, seed=1).outcomes
+        assert len(set(outcomes)) == 50
+
+
+class TestTrialSet:
+    def test_map(self):
+        trials = TrialSet("t", outcomes=[1, 2, 3])
+        assert trials.map(lambda x: x * 2.0) == [2.0, 4.0, 6.0]
+
+    def test_success_estimate(self):
+        trials = TrialSet("t", outcomes=[1, 2, 3, 4])
+        est = trials.success_estimate(lambda x: x % 2 == 0)
+        assert est.successes == 2
+        assert est.trials == 4
+
+    def test_count_distribution(self):
+        trials = TrialSet("t", outcomes=[3, 5, 4])
+        dist = trials.count_distribution(lambda x: x, total=5)
+        assert dist.mean == pytest.approx(4.0)
+
+
+class TestSweep:
+    def test_one_trial_set_per_value(self):
+        results = sweep(
+            lambda v: f"v={v}",
+            [1.0, 2.0, 3.0],
+            lambda v: (lambda seeds, i: v * i),
+            repetitions=4,
+        )
+        assert set(results) == {1.0, 2.0, 3.0}
+        assert results[2.0].outcomes == [0.0, 2.0, 4.0, 6.0]
+
+    def test_sweep_points_reproducible(self):
+        def factory(v):
+            def trial(seeds, i):
+                return seeds.trial_stream("x", i).random()
+
+            return trial
+
+        a = sweep(str, [1.0], factory, 3, seed=9)
+        b = sweep(str, [1.0], factory, 3, seed=9)
+        assert a[1.0].outcomes == b[1.0].outcomes

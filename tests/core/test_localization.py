@@ -1,0 +1,166 @@
+"""Tests for LANDMARC-style localization."""
+
+import math
+
+import pytest
+
+from repro.core.localization import (
+    LandmarcLocator,
+    LocalizationError,
+    ReferenceTag,
+    grid_references,
+    signal_distance,
+)
+from repro.rf.geometry import Vec3
+from repro.sim.rng import RandomStream
+
+#: Reader positions for the synthetic room (4 corners, 8x8 m).
+READERS = {
+    "r0": Vec3(0.0, 2.0, 0.0),
+    "r1": Vec3(8.0, 2.0, 0.0),
+    "r2": Vec3(0.0, 2.0, 8.0),
+    "r3": Vec3(8.0, 2.0, 8.0),
+}
+
+
+def _rssi_model(noise_rng=None, sigma=0.0):
+    """Log-distance RSSI with optional noise — the surveying function."""
+
+    def signal_fn(position):
+        signals = {}
+        for reader_id, reader_pos in READERS.items():
+            d = max(position.distance_to(reader_pos), 0.3)
+            rssi = -30.0 - 25.0 * math.log10(d)
+            if noise_rng is not None and sigma > 0.0:
+                rssi += noise_rng.gauss(0.0, sigma)
+            signals[reader_id] = rssi
+        return signals
+
+    return signal_fn
+
+
+def _grid(signal_fn=None, pitch=2.0):
+    return grid_references(
+        Vec3(0.0, 1.0, 0.0), columns=5, rows=5, pitch_m=pitch,
+        signal_fn=signal_fn or _rssi_model(),
+    )
+
+
+class TestSignalDistance:
+    def test_identical_vectors(self):
+        assert signal_distance({"r0": -50.0}, {"r0": -50.0}) == 0.0
+
+    def test_euclidean(self):
+        assert signal_distance(
+            {"r0": -50.0, "r1": -60.0}, {"r0": -53.0, "r1": -56.0}
+        ) == pytest.approx(5.0)
+
+    def test_partial_overlap_uses_shared(self):
+        d = signal_distance({"r0": -50.0, "r9": -10.0}, {"r0": -53.0})
+        assert d == pytest.approx(3.0)
+
+    def test_no_overlap_rejected(self):
+        with pytest.raises(LocalizationError):
+            signal_distance({"r0": -50.0}, {"r1": -50.0})
+
+
+class TestReferences:
+    def test_grid_size(self):
+        assert len(_grid()) == 25
+
+    def test_grid_positions(self):
+        refs = {r.tag_id: r for r in _grid()}
+        assert refs["ref-0-0"].position.is_close(Vec3(0.0, 1.0, 0.0))
+        assert refs["ref-2-3"].position.is_close(Vec3(6.0, 1.0, 4.0))
+
+    def test_invalid_grid(self):
+        with pytest.raises(LocalizationError):
+            grid_references(Vec3.zero(), 0, 1, 1.0, _rssi_model())
+        with pytest.raises(LocalizationError):
+            grid_references(Vec3.zero(), 1, 1, 0.0, _rssi_model())
+
+    def test_empty_signals_rejected(self):
+        with pytest.raises(LocalizationError):
+            ReferenceTag("x", Vec3.zero(), {})
+
+
+class TestLocator:
+    def test_exact_reference_position(self):
+        refs = _grid()
+        locator = LandmarcLocator(refs, k=4)
+        target = refs[7]
+        estimate = locator.locate(target.signals)
+        assert estimate.error_to(target.position) < 1e-6
+
+    def test_interpolates_between_references(self):
+        locator = LandmarcLocator(_grid(), k=4)
+        truth = Vec3(3.0, 1.0, 5.0)  # off-grid point
+        estimate = locator.locate(_rssi_model()(truth))
+        # Room-level accuracy: well within one grid pitch.
+        assert estimate.error_to(truth) < 2.0
+
+    def test_room_level_accuracy_under_noise(self):
+        """LANDMARC's claim: a couple of metres of error with noisy
+        RSSI — 'room-level accuracy'."""
+        rng = RandomStream(99)
+        noisy_model = _rssi_model(noise_rng=rng, sigma=2.0)
+        locator = LandmarcLocator(_grid(), k=4)
+        errors = []
+        for i in range(30):
+            truth = Vec3(
+                1.0 + (i % 5) * 1.3, 1.0, 1.0 + (i // 5) * 1.1
+            )
+            estimate = locator.locate(noisy_model(truth))
+            errors.append(estimate.error_to(truth))
+        median = sorted(errors)[len(errors) // 2]
+        assert median < 2.5
+
+    def test_weights_sum_to_one(self):
+        locator = LandmarcLocator(_grid(), k=4)
+        estimate = locator.locate(_rssi_model()(Vec3(3.3, 1.0, 2.7)))
+        assert sum(estimate.weights) == pytest.approx(1.0)
+        assert len(estimate.neighbors) == 4
+
+    def test_k_clamped_to_references(self):
+        refs = _grid()[:2]
+        locator = LandmarcLocator(refs, k=10)
+        assert locator.k == 2
+
+    def test_validation(self):
+        with pytest.raises(LocalizationError):
+            LandmarcLocator([], k=4)
+        with pytest.raises(LocalizationError):
+            LandmarcLocator(_grid(), k=0)
+        duplicated = _grid()[:1] * 2
+        with pytest.raises(LocalizationError):
+            LandmarcLocator(duplicated, k=1)
+
+    def test_denser_grid_is_more_accurate(self):
+        """At equal coverage (8x8 m), a denser reference grid reduces
+        the median error — LANDMARC's cost/accuracy dial."""
+        model = _rssi_model()
+        coarse = LandmarcLocator(
+            grid_references(
+                Vec3(0.0, 1.0, 0.0), columns=3, rows=3, pitch_m=4.0,
+                signal_fn=model,
+            ),
+            k=4,
+        )
+        fine = LandmarcLocator(
+            grid_references(
+                Vec3(0.0, 1.0, 0.0), columns=9, rows=9, pitch_m=1.0,
+                signal_fn=model,
+            ),
+            k=4,
+        )
+        truths = [
+            Vec3(1.3 + i, 1.0, 0.9 + 0.7 * i) for i in range(7)
+        ]
+
+        def median_error(locator):
+            errors = sorted(
+                locator.locate(model(t)).error_to(t) for t in truths
+            )
+            return errors[len(errors) // 2]
+
+        assert median_error(fine) < median_error(coarse)

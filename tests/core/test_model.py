@@ -1,0 +1,119 @@
+"""Tests for the embedded empirical model of the paper's measurements."""
+
+import pytest
+
+from repro.core.model import (
+    EmpiricalReliabilityModel,
+    HUMAN_ONE_SUBJECT_RELIABILITY,
+    HUMAN_TRACKING_1TAG_AVG,
+    HUMAN_TRACKING_2TAGS_AVG,
+    OBJECT_AVERAGE_RELIABILITY,
+    OBJECT_LOCATION_RELIABILITY,
+    OBJECT_REDUNDANCY_SUMMARY,
+    ORIENTATION_QUALITY,
+    READ_RANGE_MEAN_TAGS,
+)
+
+
+class TestTranscribedTables:
+    def test_table1_values(self):
+        assert OBJECT_LOCATION_RELIABILITY["front"] == 0.87
+        assert OBJECT_LOCATION_RELIABILITY["top"] == 0.29
+
+    def test_table1_average_consistent(self):
+        """The paper's 63% average assumes front=back and top=bottom."""
+        t = OBJECT_LOCATION_RELIABILITY
+        average = (
+            2 * t["front"] + t["side_closer"] + t["side_farther"] + 2 * t["top"]
+        ) / 6.0
+        assert average == pytest.approx(OBJECT_AVERAGE_RELIABILITY, abs=0.01)
+
+    def test_table2_average_consistent(self):
+        t = HUMAN_ONE_SUBJECT_RELIABILITY
+        # Paper: front/back 75 (two placements), side closer 90, side
+        # farther 10 -> (75+75+90+10)/4 = 62.5 ~ 63%.
+        average = (
+            2 * t["front_back"] + t["side_closer"] + t["side_farther"]
+        ) / 4.0
+        assert average == pytest.approx(HUMAN_TRACKING_1TAG_AVG, abs=0.02)
+
+    def test_read_range_perfect_at_1m(self):
+        assert READ_RANGE_MEAN_TAGS[1.0] == 20.0
+
+    def test_read_range_monotone_decreasing(self):
+        values = [READ_RANGE_MEAN_TAGS[d] for d in sorted(READ_RANGE_MEAN_TAGS)]
+        assert values == sorted(values, reverse=True)
+
+    def test_orientation_quality_worst_cases(self):
+        """Cases 1 and 5 (dipole at the antenna) are the paper's worst."""
+        worst = sorted(ORIENTATION_QUALITY, key=ORIENTATION_QUALITY.get)[:2]
+        assert set(worst) == {1, 5}
+
+    def test_figure5_summary_monotone(self):
+        order = [
+            "1 antenna, 1 tag",
+            "2 antennas, 1 tag",
+            "1 antenna, 2 tags",
+            "2 antennas, 2 tags",
+        ]
+        measured = [OBJECT_REDUNDANCY_SUMMARY[k][0] for k in order]
+        assert measured == sorted(measured)
+
+
+class TestEmpiricalModel:
+    def test_object_lookup(self):
+        model = EmpiricalReliabilityModel()
+        assert model.object_tag_reliability("front") == 0.87
+
+    def test_object_unknown_location(self):
+        with pytest.raises(KeyError, match="side_closer"):
+            EmpiricalReliabilityModel().object_tag_reliability("lid")
+
+    def test_human_lookup(self):
+        model = EmpiricalReliabilityModel()
+        assert model.human_tag_reliability("side_farther") == 0.10
+
+    def test_human_unknown_placement(self):
+        with pytest.raises(KeyError):
+            EmpiricalReliabilityModel().human_tag_reliability("hat")
+
+    def test_expected_tracking_matches_paper_table3(self):
+        """R_C for front+side with one antenna: paper computes ~97-98%."""
+        model = EmpiricalReliabilityModel()
+        rc = model.expected_tracking_reliability(
+            ["front", "side_closer"], antennas=1, domain="object"
+        )
+        assert rc == pytest.approx(0.978, abs=0.005)
+
+    def test_expected_tracking_two_antennas(self):
+        """Front tag with two antennas: 1-(1-0.87)^2 = 98.3%."""
+        model = EmpiricalReliabilityModel()
+        rc = model.expected_tracking_reliability(
+            ["front"], antennas=2, domain="object"
+        )
+        assert rc == pytest.approx(0.983, abs=0.001)
+
+    def test_expected_tracking_human_four_tags(self):
+        """Table 4's 4-tag row: ~99.5% calculated."""
+        model = EmpiricalReliabilityModel()
+        rc = model.expected_tracking_reliability(
+            ["front_back", "front_back", "side_closer", "side_farther"],
+            antennas=1,
+            domain="human",
+        )
+        assert rc == pytest.approx(0.995, abs=0.003)
+
+    def test_paper_headline_two_tags(self):
+        """Using two tags instead of one raises human tracking from 63%
+        to ~94-96% — the paper's headline improvement."""
+        model = EmpiricalReliabilityModel()
+        rc = model.expected_tracking_reliability(
+            ["front_back", "side_closer"], antennas=1, domain="human"
+        )
+        assert rc == pytest.approx(HUMAN_TRACKING_2TAGS_AVG, abs=0.03)
+
+    def test_invalid_antennas(self):
+        with pytest.raises(ValueError):
+            EmpiricalReliabilityModel().expected_tracking_reliability(
+                ["front"], antennas=0
+            )

@@ -1,0 +1,100 @@
+"""Cross-checks on the transcribed paper tables.
+
+The paper computes its R_C columns from its own Section 3 single-
+opportunity measurements. These tests re-derive those columns from the
+transcribed inputs and check they match the transcribed outputs — a
+consistency audit of both the paper's arithmetic and our transcription.
+"""
+
+import pytest
+
+from repro.core.model import (
+    HUMAN_1ANTENNA_REDUNDANCY,
+    HUMAN_2ANTENNA_REDUNDANCY,
+    HUMAN_ONE_SUBJECT_RELIABILITY,
+    OBJECT_LOCATION_RELIABILITY,
+    OBJECT_REDUNDANCY_MEASURED,
+)
+from repro.core.redundancy import combined_reliability
+
+P_FB = HUMAN_ONE_SUBJECT_RELIABILITY["front_back"]      # 0.75
+P_SC = HUMAN_ONE_SUBJECT_RELIABILITY["side_closer"]     # 0.90
+P_SF = HUMAN_ONE_SUBJECT_RELIABILITY["side_farther"]    # 0.10
+
+
+class TestTable4Consistency:
+    def test_front_back_two_tags(self):
+        # Paper's R_C 94%: 1 - (1 - .75)^2 = 93.75%.
+        derived = combined_reliability([P_FB, P_FB])
+        transcribed = HUMAN_1ANTENNA_REDUNDANCY[(2, "front_back")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_sides_two_tags(self):
+        # Paper's R_C 91%: 1 - (1 - .9)(1 - .1) = 91%.
+        derived = combined_reliability([P_SC, P_SF])
+        transcribed = HUMAN_1ANTENNA_REDUNDANCY[(2, "sides")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_four_tags(self):
+        # Paper's R_C 99.5%.
+        derived = combined_reliability([P_FB, P_FB, P_SC, P_SF])
+        transcribed = HUMAN_1ANTENNA_REDUNDANCY[(4, "all")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+
+class TestTable5Consistency:
+    def test_one_tag_two_antennas_front(self):
+        # Paper's R_C 94%: 1 - (1 - .75)^2.
+        derived = combined_reliability([P_FB] * 2)
+        transcribed = HUMAN_2ANTENNA_REDUNDANCY[(1, "front_back")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_two_tags_two_antennas_front(self):
+        # Paper's R_C 99.6%: four front/back opportunities.
+        derived = combined_reliability([P_FB] * 4)
+        transcribed = HUMAN_2ANTENNA_REDUNDANCY[(2, "front_back")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_two_side_tags_two_antennas(self):
+        # Paper's R_C 99.2%: (sc, sf) x 2 antennas.
+        derived = combined_reliability([P_SC, P_SF] * 2)
+        transcribed = HUMAN_2ANTENNA_REDUNDANCY[(2, "sides")][1]
+        assert derived == pytest.approx(transcribed, abs=0.015)
+
+
+class TestTable3Consistency:
+    def test_two_antenna_front_row(self):
+        # Paper: front 87% single -> 2-antenna R_C 98%.
+        derived = combined_reliability(
+            [OBJECT_LOCATION_RELIABILITY["front"]] * 2
+        )
+        transcribed = OBJECT_REDUNDANCY_MEASURED[(2, 1, "front")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_two_tags_good_row(self):
+        # Paper: front + side-closer -> R_C 98%.
+        derived = combined_reliability(
+            [
+                OBJECT_LOCATION_RELIABILITY["front"],
+                OBJECT_LOCATION_RELIABILITY["side_closer"],
+            ]
+        )
+        transcribed = OBJECT_REDUNDANCY_MEASURED[(1, 2, "front+side(good)")][1]
+        assert derived == pytest.approx(transcribed, abs=0.01)
+
+    def test_full_redundancy_row(self):
+        # Paper: 2 antennas x 2 tags -> R_C 99.9%.
+        derived = combined_reliability(
+            [
+                OBJECT_LOCATION_RELIABILITY["front"],
+                OBJECT_LOCATION_RELIABILITY["side_closer"],
+            ]
+            * 2
+        )
+        transcribed = OBJECT_REDUNDANCY_MEASURED[(2, 2, "front+side")][1]
+        assert derived == pytest.approx(transcribed, abs=0.002)
+
+    def test_measured_never_exceeds_one(self):
+        for rm, rc in OBJECT_REDUNDANCY_MEASURED.values():
+            assert 0.0 <= rm <= 1.0
+            assert 0.0 <= rc <= 1.0

@@ -1,0 +1,133 @@
+"""Tests for the deployment planner."""
+
+import pytest
+
+from repro.core.model import OBJECT_LOCATION_RELIABILITY
+from repro.core.planner import CostModel, DeploymentPlanner
+
+
+def _planner(**kwargs):
+    return DeploymentPlanner(dict(OBJECT_LOCATION_RELIABILITY), **kwargs)
+
+
+class TestCostModel:
+    def test_total_cost(self):
+        cm = CostModel(
+            cost_per_tag=0.05,
+            cost_per_antenna=300.0,
+            cost_per_reader=1500.0,
+            objects_per_deployment=1000,
+        )
+        assert cm.total_cost(2, 2) == pytest.approx(
+            2 * 0.05 * 1000 + 600 + 1500
+        )
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            CostModel().total_cost(0, 1)
+
+
+class TestPlannerValidation:
+    def test_empty_placements_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentPlanner({})
+
+    def test_invalid_reliability_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentPlanner({"x": 1.3})
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            _planner(antenna_efficiency=0.0)
+
+
+class TestPredict:
+    def test_single_tag_single_antenna_is_best_placement(self):
+        planner = _planner()
+        # Best placement is front (87%).
+        assert planner.predict(1, 1) == pytest.approx(0.87)
+
+    def test_two_tags_match_paper_rc(self):
+        planner = _planner()
+        # Front + side_closer: 1 - 0.13*0.17.
+        assert planner.predict(2, 1) == pytest.approx(0.9779, abs=1e-4)
+
+    def test_full_efficiency_matches_independence(self):
+        planner = _planner(antenna_efficiency=1.0)
+        assert planner.predict(1, 2) == pytest.approx(
+            1 - (1 - 0.87) ** 2, abs=1e-6
+        )
+
+    def test_discounted_antennas_below_independence(self):
+        planner = _planner(antenna_efficiency=0.6)
+        full = _planner(antenna_efficiency=1.0).predict(1, 2)
+        assert planner.predict(1, 2) < full
+
+    def test_more_redundancy_more_reliability(self):
+        planner = _planner()
+        assert planner.predict(2, 1) > planner.predict(1, 1)
+        assert planner.predict(1, 2) > planner.predict(1, 1)
+
+    def test_too_many_tags_rejected(self):
+        with pytest.raises(ValueError):
+            _planner().predict(10, 1)
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            _planner().predict(0, 1)
+
+
+class TestPlan:
+    def test_reaches_target(self):
+        planner = _planner()
+        option = planner.plan(0.95)
+        assert option.predicted_reliability >= 0.95
+
+    def test_prefers_tags_over_antennas(self):
+        """With tags at cents and antennas at hundreds of dollars, the
+        planner should reach high reliability by adding tags — the
+        paper's recommendation made economic."""
+        planner = _planner(
+            cost_model=CostModel(objects_per_deployment=1000)
+        )
+        option = planner.plan(0.99)
+        assert option.tags_per_object >= 2
+        assert option.antennas == 1
+
+    def test_expensive_tags_flip_the_choice(self):
+        """If tagging were expensive (few objects, pricey tags), antennas
+        win instead — the planner responds to unit economics."""
+        planner = _planner(
+            cost_model=CostModel(
+                cost_per_tag=50.0, objects_per_deployment=100_000
+            ),
+            antenna_efficiency=1.0,
+        )
+        option = planner.plan(0.97)
+        assert option.antennas >= 2
+        assert option.tags_per_object == 1
+
+    def test_unreachable_target_raises(self):
+        planner = _planner()
+        with pytest.raises(ValueError, match="no configuration"):
+            planner.plan(0.99999, max_tags=1, max_antennas=1)
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            _planner().plan(1.0)
+
+    def test_best_placements_filled_first(self):
+        option = _planner().plan(0.95)
+        assert option.placements[0] == "front"
+
+
+class TestEnumerate:
+    def test_sorted_by_cost(self):
+        options = _planner().enumerate_options(max_tags=2, max_antennas=2)
+        costs = [o.cost for o in options]
+        assert costs == sorted(costs)
+
+    def test_limits_respected(self):
+        options = _planner().enumerate_options(max_tags=2, max_antennas=3)
+        assert all(o.tags_per_object <= 2 for o in options)
+        assert all(o.antennas <= 3 for o in options)

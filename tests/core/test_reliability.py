@@ -1,0 +1,139 @@
+"""Tests for reliability estimators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.reliability import (
+    CountDistribution,
+    ReliabilityEstimate,
+    per_location_reliability,
+    tracking_success,
+)
+
+
+class TestReliabilityEstimate:
+    def test_rate_and_percent(self):
+        est = ReliabilityEstimate(successes=87, trials=100)
+        assert est.rate == pytest.approx(0.87)
+        assert est.percent == pytest.approx(87.0)
+
+    def test_invalid_trials(self):
+        with pytest.raises(ValueError):
+            ReliabilityEstimate(0, 0)
+
+    def test_invalid_successes(self):
+        with pytest.raises(ValueError):
+            ReliabilityEstimate(11, 10)
+        with pytest.raises(ValueError):
+            ReliabilityEstimate(-1, 10)
+
+    def test_wilson_contains_point_estimate(self):
+        est = ReliabilityEstimate(15, 20)
+        low, high = est.wilson_interval()
+        assert low <= est.rate <= high
+
+    def test_wilson_narrows_with_more_trials(self):
+        small = ReliabilityEstimate(8, 10)
+        large = ReliabilityEstimate(800, 1000)
+        s_low, s_high = small.wilson_interval()
+        l_low, l_high = large.wilson_interval()
+        assert (l_high - l_low) < (s_high - s_low)
+
+    def test_wilson_bounded(self):
+        for successes in (0, 5, 10):
+            low, high = ReliabilityEstimate(successes, 10).wilson_interval()
+            assert 0.0 <= low <= high <= 1.0
+
+    def test_combined(self):
+        a = ReliabilityEstimate(3, 10)
+        b = ReliabilityEstimate(7, 10)
+        combined = a.combined_with(b)
+        assert combined.successes == 10
+        assert combined.trials == 20
+
+    def test_from_outcomes(self):
+        est = ReliabilityEstimate.from_outcomes([True, False, True, True])
+        assert est.successes == 3
+        assert est.trials == 4
+
+    def test_from_outcomes_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityEstimate.from_outcomes([])
+
+    def test_pooled(self):
+        pooled = ReliabilityEstimate.pooled(
+            [ReliabilityEstimate(1, 2), ReliabilityEstimate(3, 4)]
+        )
+        assert pooled.successes == 4
+        assert pooled.trials == 6
+
+    def test_pooled_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ReliabilityEstimate.pooled([])
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_rate_in_unit_interval(self, trials):
+        est = ReliabilityEstimate(trials // 2, trials)
+        assert 0.0 <= est.rate <= 1.0
+
+
+class TestCountDistribution:
+    def test_mean(self):
+        dist = CountDistribution(counts=(18, 20, 19), total_tags=20)
+        assert dist.mean == pytest.approx(19.0)
+        assert dist.mean_fraction == pytest.approx(0.95)
+
+    def test_quartiles(self):
+        dist = CountDistribution(counts=(10, 12, 14, 16, 18), total_tags=20)
+        assert dist.lower_quartile == pytest.approx(12.0)
+        assert dist.upper_quartile == pytest.approx(16.0)
+
+    def test_single_trial(self):
+        dist = CountDistribution(counts=(7,), total_tags=10)
+        assert dist.quantile(0.5) == 7.0
+
+    def test_invalid_quantile(self):
+        dist = CountDistribution(counts=(5,), total_tags=10)
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_counts_out_of_range(self):
+        with pytest.raises(ValueError):
+            CountDistribution(counts=(21,), total_tags=20)
+        with pytest.raises(ValueError):
+            CountDistribution(counts=(-1,), total_tags=20)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CountDistribution(counts=(), total_tags=20)
+
+    def test_as_reliability(self):
+        dist = CountDistribution(counts=(10, 20), total_tags=20)
+        est = dist.as_reliability()
+        assert est.successes == 30
+        assert est.trials == 40
+
+
+class TestTrackingSuccess:
+    def test_any_tag_suffices(self):
+        assert tracking_success({"a", "b"}, ["x", "b"])
+
+    def test_no_tags_seen(self):
+        assert not tracking_success({"a"}, ["x", "y"])
+
+    def test_empty_object_rejected(self):
+        with pytest.raises(ValueError):
+            tracking_success({"a"}, [])
+
+
+class TestPerLocation:
+    def test_builds_rows(self):
+        rows = per_location_reliability(
+            {"front": [True, True, False], "top": [False, False, False]}
+        )
+        assert rows["front"].rate == pytest.approx(2 / 3)
+        assert rows["top"].rate == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            per_location_reliability({})

@@ -1,0 +1,117 @@
+"""Tests for one-at-a-time sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    ParameterSpec,
+    SensitivityResult,
+    conclusion_robust,
+    one_at_a_time,
+    tornado_rows,
+)
+
+
+def _linear_metric(weights):
+    def metric(params):
+        return sum(weights[name] * value for name, value in params.items())
+
+    return metric
+
+
+class TestParameterSpec:
+    def test_valid(self):
+        spec = ParameterSpec("sigma", 3.0, 1.0, 5.0)
+        assert spec.nominal == 3.0
+
+    def test_nominal_outside_range(self):
+        with pytest.raises(ValueError):
+            ParameterSpec("sigma", 6.0, 1.0, 5.0)
+
+
+class TestOneAtATime:
+    def test_swings_rank_by_weight(self):
+        specs = [
+            ParameterSpec("big", 1.0, 0.0, 2.0),
+            ParameterSpec("small", 1.0, 0.0, 2.0),
+        ]
+        metric = _linear_metric({"big": 10.0, "small": 1.0})
+        results = one_at_a_time(specs, metric)
+        assert results[0].parameter == "big"
+        assert results[0].swing == pytest.approx(20.0)
+        assert results[1].swing == pytest.approx(2.0)
+
+    def test_nominal_metric_shared(self):
+        specs = [
+            ParameterSpec("a", 1.0, 0.5, 1.5),
+            ParameterSpec("b", 2.0, 1.0, 3.0),
+        ]
+        results = one_at_a_time(specs, _linear_metric({"a": 1.0, "b": 1.0}))
+        assert all(r.metric_nominal == pytest.approx(3.0) for r in results)
+
+    def test_empty_specs_rejected(self):
+        with pytest.raises(ValueError):
+            one_at_a_time([], lambda p: 0.0)
+
+    def test_duplicate_names_rejected(self):
+        specs = [
+            ParameterSpec("x", 1.0, 0.0, 2.0),
+            ParameterSpec("x", 1.0, 0.0, 2.0),
+        ]
+        with pytest.raises(ValueError):
+            one_at_a_time(specs, lambda p: 0.0)
+
+    def test_insensitive_parameter_zero_swing(self):
+        specs = [ParameterSpec("unused", 1.0, 0.0, 2.0)]
+        results = one_at_a_time(specs, lambda params: 42.0)
+        assert results[0].swing == 0.0
+        assert results[0].elasticity == 0.0
+
+
+class TestElasticity:
+    def test_normalised(self):
+        result = SensitivityResult("x", 2.0, 1.0, 3.0)
+        assert result.elasticity == pytest.approx(1.0)
+
+    def test_zero_nominal(self):
+        assert SensitivityResult("x", 0.0, -1.0, 1.0).elasticity == float(
+            "inf"
+        )
+        assert SensitivityResult("x", 0.0, 0.0, 0.0).elasticity == 0.0
+
+
+class TestTornado:
+    def test_rows(self):
+        results = [SensitivityResult("x", 10.0, 8.0, 13.0)]
+        assert tornado_rows(results) == [("x", -2.0, 3.0)]
+
+
+class TestRobustness:
+    def test_robust_conclusion(self):
+        results = [SensitivityResult("x", 0.95, 0.91, 0.98)]
+        assert conclusion_robust(results, lambda m: m >= 0.9)
+
+    def test_fragile_conclusion(self):
+        results = [SensitivityResult("x", 0.95, 0.80, 0.98)]
+        assert not conclusion_robust(results, lambda m: m >= 0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conclusion_robust([], lambda m: True)
+
+    def test_redundancy_conclusion_example(self):
+        """End-to-end: the R_C two-tag conclusion survives +-20%
+        perturbation of the single-tag reliabilities."""
+        from repro.core.redundancy import combined_reliability
+
+        specs = [
+            ParameterSpec("p_front", 0.87, 0.70, 0.95),
+            ParameterSpec("p_side", 0.83, 0.66, 0.95),
+        ]
+
+        def metric(params):
+            return combined_reliability(
+                [params["p_front"], params["p_side"]]
+            )
+
+        results = one_at_a_time(specs, metric)
+        assert conclusion_robust(results, lambda m: m >= 0.90)

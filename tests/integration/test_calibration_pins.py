@@ -1,0 +1,115 @@
+"""Integration tests pinning the calibrated simulator to the paper's bands.
+
+These run the real pass simulator with reduced repetition counts, so
+they are slower than unit tests but still minutes-not-hours. Tolerances
+are deliberately wide: they guard the *shape* of each result (ordering,
+bands, direction of effects), which is what the reproduction claims.
+"""
+
+import pytest
+
+from repro.core.calibration import PaperSetup
+from repro.core.model import OBJECT_LOCATION_RELIABILITY
+from repro.world.objects import BoxFace
+from repro.world.scenarios.object_tracking import run_table1_experiment
+from repro.world.scenarios.human_tracking import run_table2_experiment
+from repro.world.scenarios.read_range import run_read_range_experiment
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return run_table1_experiment(repetitions=6)
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_table2_experiment(repetitions=12)
+
+
+class TestFigure2Pins:
+    def test_read_range_shape(self):
+        results = run_read_range_experiment(
+            distances_m=(1.0, 3.0, 5.0, 7.0, 9.0), repetitions=8
+        )
+        means = {d: p.mean_tags_read for d, p in results.items()}
+        # 100% at 1 m.
+        assert means[1.0] >= 19.0
+        # Gradual decay: each sampled point clearly below the previous.
+        assert means[3.0] > means[5.0] > means[7.0]
+        # Nearly dead by 9 m.
+        assert means[9.0] < 8.0
+
+
+class TestTable1Pins:
+    def test_ordering_matches_paper(self, table1):
+        """Front/side-closer best, side-farther middling, top worst."""
+        rates = {face: est.rate for face, est in table1.items()}
+        assert rates[BoxFace.TOP] < rates[BoxFace.SIDE_FARTHER]
+        assert rates[BoxFace.SIDE_FARTHER] < min(
+            rates[BoxFace.FRONT], rates[BoxFace.SIDE_CLOSER]
+        )
+
+    def test_rates_in_paper_bands(self, table1):
+        """Each placement within +-0.15 of the paper's Table 1."""
+        for face, est in table1.items():
+            paper = OBJECT_LOCATION_RELIABILITY[face.value]
+            assert abs(est.rate - paper) <= 0.15, (
+                f"{face.value}: measured {est.rate:.2f}, paper {paper:.2f}"
+            )
+
+    def test_top_is_dramatically_worse(self, table1):
+        """'The location of a tag on an object has a dramatic impact.'"""
+        rates = {face: est.rate for face, est in table1.items()}
+        assert rates[BoxFace.TOP] <= rates[BoxFace.FRONT] - 0.3
+
+
+class TestTable2Pins:
+    def test_side_farther_is_nearly_dead(self, table2):
+        assert table2["side_farther"].one_subject.rate <= 0.25
+
+    def test_side_closer_is_excellent(self, table2):
+        assert table2["side_closer"].one_subject.rate >= 0.8
+
+    def test_one_subject_average_near_paper(self, table2):
+        rates = [r.one_subject.rate for r in table2.values()]
+        average = sum(rates) / len(rates)
+        assert abs(average - 0.63) <= 0.15
+
+    def test_blocking_hurts_farther_subject(self, table2):
+        """The farther of two subjects reads no better than alone for
+        side placements (body blocking)."""
+        result = table2["side_closer"]
+        assert (
+            result.two_subject_farther.rate
+            <= result.one_subject.rate + 0.05
+        )
+
+    def test_reflection_helps_closer_subject(self, table2):
+        """The paper's counterintuitive finding: the closer subject of a
+        pair reads at least as well as a lone subject (reflections off
+        the farther body)."""
+        improvements = 0
+        for result in table2.values():
+            if (
+                result.two_subject_closer.rate
+                >= result.one_subject.rate - 0.05
+            ):
+                improvements += 1
+        assert improvements >= 2
+
+
+class TestCalibrationConstants:
+    def test_setup_constructs(self):
+        setup = PaperSetup()
+        assert setup.tx_power_dbm == 30.0
+        assert setup.env.tag_sensitivity_dbm < -10.0
+
+    def test_deterministic_free_space_range_plausible(self):
+        from repro.rf.link import free_space_read_range_m
+
+        setup = PaperSetup()
+        rng = free_space_read_range_m(setup.env, 30.0, step_m=0.1)
+        # UHF passive range "is generally a few meters".
+        assert 3.0 <= rng <= 9.0

@@ -1,0 +1,60 @@
+"""Smoke tests for the example scripts.
+
+Each example must import cleanly and expose ``main``; the fastest one
+runs end to end to catch API drift between the library and examples.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(__file__))), "examples"
+)
+
+EXAMPLES = (
+    "quickstart",
+    "warehouse_portal",
+    "access_gate",
+    "conveyor_line",
+    "distribution_center",
+    "site_survey",
+)
+
+pytestmark = pytest.mark.slow
+
+
+def _load(name):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    @pytest.mark.parametrize("name", EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = _load(name)
+        assert callable(getattr(module, "main", None)), name
+
+    def test_quickstart_runs(self):
+        module = _load("quickstart")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        output = buffer.getvalue()
+        assert "Front tag read reliability" in output
+        assert "%" in output
+
+    def test_distribution_center_runs(self):
+        module = _load("distribution_center")
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            module.main()
+        output = buffer.getvalue()
+        assert "Journey completeness" in output

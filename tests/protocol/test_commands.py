@@ -1,0 +1,173 @@
+"""Tests for Gen 2 command frame encoding/decoding."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol.commands import (
+    AckCommand,
+    CommandError,
+    DivideRatio,
+    QueryAdjustCommand,
+    QueryCommand,
+    QueryRepCommand,
+    SelectCommand,
+    Session,
+    TagEncoding,
+    Target,
+    decode_command,
+)
+
+
+class TestQuery:
+    def test_frame_is_22_bits(self):
+        assert len(QueryCommand().to_bits()) == 22
+
+    def test_round_trip_defaults(self):
+        query = QueryCommand()
+        assert QueryCommand.from_bits(query.to_bits()) == query
+
+    def test_round_trip_all_fields(self):
+        query = QueryCommand(
+            dr=DivideRatio.DR_64_3,
+            m=TagEncoding.MILLER_8,
+            trext=True,
+            sel=3,
+            session=Session.S3,
+            target=Target.B,
+            q=15,
+        )
+        assert QueryCommand.from_bits(query.to_bits()) == query
+
+    def test_crc_flip_detected(self):
+        bits = QueryCommand().to_bits()
+        bits[5] ^= 1
+        with pytest.raises(CommandError, match="CRC"):
+            QueryCommand.from_bits(bits)
+
+    def test_invalid_q(self):
+        with pytest.raises(CommandError):
+            QueryCommand(q=16)
+
+    def test_invalid_sel(self):
+        with pytest.raises(CommandError):
+            QueryCommand(sel=4)
+
+    def test_wrong_length(self):
+        with pytest.raises(CommandError):
+            QueryCommand.from_bits([0] * 21)
+
+    @given(
+        st.sampled_from(list(Session)),
+        st.sampled_from(list(Target)),
+        st.integers(min_value=0, max_value=15),
+    )
+    def test_round_trip_property(self, session, target, q):
+        query = QueryCommand(session=session, target=target, q=q)
+        assert QueryCommand.from_bits(query.to_bits()) == query
+
+
+class TestQueryRep:
+    def test_round_trip(self):
+        for session in Session:
+            cmd = QueryRepCommand(session=session)
+            assert QueryRepCommand.from_bits(cmd.to_bits()) == cmd
+
+    def test_frame_is_4_bits(self):
+        assert len(QueryRepCommand().to_bits()) == 4
+
+    def test_bad_frame(self):
+        with pytest.raises(CommandError):
+            QueryRepCommand.from_bits([1, 0, 0, 0])
+
+
+class TestQueryAdjust:
+    def test_round_trip_all_updn(self):
+        for updn in (-1, 0, 1):
+            cmd = QueryAdjustCommand(session=Session.S2, updn=updn)
+            assert QueryAdjustCommand.from_bits(cmd.to_bits()) == cmd
+
+    def test_invalid_updn(self):
+        with pytest.raises(CommandError):
+            QueryAdjustCommand(updn=2)
+
+    def test_invalid_updn_bits(self):
+        bits = QueryAdjustCommand(updn=0).to_bits()
+        bits[6:9] = [1, 0, 1]
+        with pytest.raises(CommandError):
+            QueryAdjustCommand.from_bits(bits)
+
+
+class TestAck:
+    def test_round_trip(self):
+        cmd = AckCommand(rn16=0xBEEF)
+        assert AckCommand.from_bits(cmd.to_bits()) == cmd
+
+    def test_frame_is_18_bits(self):
+        assert len(AckCommand(rn16=0).to_bits()) == 18
+
+    def test_rn16_out_of_range(self):
+        with pytest.raises(CommandError):
+            AckCommand(rn16=0x10000)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF))
+    def test_round_trip_property(self, rn16):
+        cmd = AckCommand(rn16=rn16)
+        assert AckCommand.from_bits(cmd.to_bits()).rn16 == rn16
+
+
+class TestSelect:
+    def test_round_trip_empty_mask(self):
+        cmd = SelectCommand()
+        assert SelectCommand.from_bits(cmd.to_bits()) == cmd
+
+    def test_round_trip_with_mask(self):
+        cmd = SelectCommand(mask=(1, 0, 1, 1, 0, 0, 1, 0), truncate=True)
+        assert SelectCommand.from_bits(cmd.to_bits()) == cmd
+
+    def test_crc_protects_mask(self):
+        bits = SelectCommand(mask=(1, 0, 1)).to_bits()
+        bits[30] ^= 1
+        with pytest.raises(CommandError, match="CRC"):
+            SelectCommand.from_bits(bits)
+
+    def test_invalid_mask_bits(self):
+        with pytest.raises(CommandError):
+            SelectCommand(mask=(0, 2))
+
+    def test_invalid_bank(self):
+        with pytest.raises(CommandError):
+            SelectCommand(mem_bank=4)
+
+    def test_length_mismatch(self):
+        bits = SelectCommand(mask=(1, 1)).to_bits()
+        with pytest.raises(CommandError):
+            SelectCommand.from_bits(bits[:-1])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=32))
+    def test_round_trip_property(self, mask):
+        cmd = SelectCommand(mask=tuple(mask))
+        assert SelectCommand.from_bits(cmd.to_bits()) == cmd
+
+
+class TestDispatch:
+    def test_dispatch_each_kind(self):
+        assert isinstance(
+            decode_command(QueryCommand().to_bits()), QueryCommand
+        )
+        assert isinstance(
+            decode_command(QueryRepCommand().to_bits()), QueryRepCommand
+        )
+        assert isinstance(
+            decode_command(QueryAdjustCommand().to_bits()), QueryAdjustCommand
+        )
+        assert isinstance(decode_command(AckCommand(1).to_bits()), AckCommand)
+        assert isinstance(
+            decode_command(SelectCommand().to_bits()), SelectCommand
+        )
+
+    def test_nak(self):
+        assert decode_command([1, 1, 0, 0, 0, 0, 0, 0]) == "NAK"
+
+    def test_unknown_prefix(self):
+        with pytest.raises(CommandError):
+            decode_command([1, 1, 1, 1, 0, 0])

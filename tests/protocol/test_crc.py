@@ -1,0 +1,113 @@
+"""Tests for Gen 2 CRC-5/CRC-16 and bit helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol.crc import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    crc5,
+    crc16,
+    crc16_bytes,
+    int_to_bits,
+    verify_crc16,
+)
+
+bit_lists = st.lists(st.integers(min_value=0, max_value=1), max_size=200)
+
+
+class TestBitHelpers:
+    def test_bytes_to_bits(self):
+        assert bytes_to_bits(b"\xa5") == [1, 0, 1, 0, 0, 1, 0, 1]
+
+    def test_bits_to_bytes(self):
+        assert bits_to_bytes([1, 0, 1, 0, 0, 1, 0, 1]) == b"\xa5"
+
+    def test_bits_to_bytes_needs_multiple_of_8(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes([1, 0, 1])
+
+    def test_int_to_bits(self):
+        assert int_to_bits(5, 4) == [0, 1, 0, 1]
+
+    def test_int_to_bits_overflow(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_int_to_bits_negative(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_bits_to_int(self):
+        assert bits_to_int([1, 0, 1, 1]) == 11
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            bits_to_int([0, 2, 1])
+
+    @given(st.binary(max_size=32))
+    def test_bytes_round_trip(self, data):
+        assert bits_to_bytes(bytes_to_bits(data)) == data
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_int_round_trip(self, value):
+        assert bits_to_int(int_to_bits(value, 32)) == value
+
+
+class TestCrc5:
+    def test_deterministic(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0]
+        assert crc5(bits) == crc5(bits)
+
+    def test_five_bit_output(self):
+        for pattern in ([0] * 16, [1] * 16, [1, 0] * 8):
+            assert 0 <= crc5(pattern) < 32
+
+    def test_detects_single_bit_flip(self):
+        bits = [1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 0, 1, 0, 0, 1, 0]
+        original = crc5(bits)
+        for i in range(len(bits)):
+            flipped = list(bits)
+            flipped[i] ^= 1
+            assert crc5(flipped) != original, f"missed flip at {i}"
+
+    def test_rejects_non_bits(self):
+        with pytest.raises(ValueError):
+            crc5([0, 1, 2])
+
+
+class TestCrc16:
+    def test_sixteen_bit_output(self):
+        assert 0 <= crc16(bytes_to_bits(b"hello")) <= 0xFFFF
+
+    def test_known_epc_check_value(self):
+        # CRC-16/GENIBUS (a.k.a. CRC-16/EPC, the Gen 2 variant:
+        # MSB-first, preset 0xFFFF, complemented): check("123456789")
+        # is 0xD64E.
+        assert crc16_bytes(b"123456789") == 0xD64E
+
+    def test_detects_single_bit_flip(self):
+        bits = bytes_to_bits(b"\x30\x39\x60\x1e\xc4\x01")
+        original = crc16(bits)
+        for i in range(len(bits)):
+            flipped = list(bits)
+            flipped[i] ^= 1
+            assert crc16(flipped) != original, f"missed flip at {i}"
+
+    def test_verify_round_trip(self):
+        bits = bytes_to_bits(b"\xde\xad\xbe\xef")
+        assert verify_crc16(bits, crc16(bits))
+        assert not verify_crc16(bits, crc16(bits) ^ 1)
+
+    @given(bit_lists)
+    def test_crc16_in_range(self, bits):
+        assert 0 <= crc16(bits) <= 0xFFFF
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_flip_detection_property(self, data):
+        bits = bytes_to_bits(data)
+        original = crc16(bits)
+        flipped = list(bits)
+        flipped[0] ^= 1
+        assert crc16(flipped) != original

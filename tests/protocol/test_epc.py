@@ -1,0 +1,124 @@
+"""Tests for SGTIN-96 EPC encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.protocol.epc import MAX_SERIAL, EpcError, EpcFactory, Sgtin96
+
+
+def _epc(**overrides):
+    defaults = dict(
+        filter_value=1,
+        partition=5,
+        company_prefix=614141,
+        item_reference=812345,
+        serial=42,
+    )
+    defaults.update(overrides)
+    return Sgtin96(**defaults)
+
+
+class TestValidation:
+    def test_valid_epc(self):
+        epc = _epc()
+        assert epc.serial == 42
+
+    def test_filter_out_of_range(self):
+        with pytest.raises(EpcError):
+            _epc(filter_value=8)
+
+    def test_partition_out_of_range(self):
+        with pytest.raises(EpcError):
+            _epc(partition=7)
+
+    def test_company_prefix_too_wide(self):
+        # Partition 6 gives the company prefix only 20 bits.
+        with pytest.raises(EpcError):
+            _epc(partition=6, company_prefix=1 << 20, item_reference=0)
+
+    def test_item_reference_too_wide(self):
+        # Partition 0 gives the item reference only 4 bits.
+        with pytest.raises(EpcError):
+            _epc(partition=0, company_prefix=0, item_reference=16)
+
+    def test_serial_too_wide(self):
+        with pytest.raises(EpcError):
+            _epc(serial=MAX_SERIAL + 1)
+
+
+class TestEncoding:
+    def test_bits_length(self):
+        assert len(_epc().to_bits()) == 96
+
+    def test_hex_length_and_header(self):
+        text = _epc().to_hex()
+        assert len(text) == 24
+        assert text.startswith("30")
+
+    def test_uri_format(self):
+        uri = _epc().to_uri()
+        assert uri == "urn:epc:id:sgtin:0614141.812345.42"
+
+    def test_bits_round_trip(self):
+        epc = _epc()
+        assert Sgtin96.from_bits(epc.to_bits()) == epc
+
+    def test_hex_round_trip(self):
+        epc = _epc(serial=123456789)
+        assert Sgtin96.from_hex(epc.to_hex()) == epc
+
+    def test_from_bits_wrong_length(self):
+        with pytest.raises(EpcError):
+            Sgtin96.from_bits([0] * 95)
+
+    def test_from_bits_wrong_header(self):
+        bits = _epc().to_bits()
+        bits[0] ^= 1
+        with pytest.raises(EpcError):
+            Sgtin96.from_bits(bits)
+
+    def test_from_hex_wrong_length(self):
+        with pytest.raises(EpcError):
+            Sgtin96.from_hex("30abc")
+
+    def test_from_hex_invalid_digits(self):
+        with pytest.raises(EpcError):
+            Sgtin96.from_hex("zz" * 12)
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=MAX_SERIAL),
+    )
+    def test_round_trip_property(self, filter_value, partition, serial):
+        epc = Sgtin96(
+            filter_value=filter_value,
+            partition=partition,
+            company_prefix=1,
+            item_reference=1,
+            serial=serial,
+        )
+        assert Sgtin96.from_hex(epc.to_hex()) == epc
+
+
+class TestFactory:
+    def test_sequential_serials(self):
+        factory = EpcFactory()
+        a = factory.next_epc()
+        b = factory.next_epc()
+        assert b.serial == a.serial + 1
+
+    def test_uniqueness(self):
+        factory = EpcFactory()
+        batch = factory.batch(500)
+        assert len({e.to_hex() for e in batch}) == 500
+
+    def test_batch_negative(self):
+        with pytest.raises(EpcError):
+            EpcFactory().batch(-1)
+
+    def test_hex_is_valid_tag_epc(self):
+        # The world model requires 24-hex-digit EPCs.
+        text = EpcFactory().next_epc().to_hex()
+        int(text, 16)
+        assert len(text) == 24

@@ -1,0 +1,132 @@
+"""Tests for tag-population estimators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocol.epc import EpcFactory
+from repro.protocol.estimation import (
+    averaged_zero_slot_estimate,
+    collision_fraction,
+    vogt_estimate,
+    vogt_lower_bound,
+    zero_slot_estimate,
+)
+from repro.protocol.gen2 import TagChannel
+from repro.protocol.aloha import run_aloha_frame
+from repro.sim.rng import RandomStream
+
+
+class TestLowerBound:
+    def test_no_collisions(self):
+        assert vogt_lower_bound(success=5, collision=0) == 5.0
+
+    def test_collisions_hide_two(self):
+        assert vogt_lower_bound(success=3, collision=4) == 11.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vogt_lower_bound(-1, 0)
+
+
+class TestVogtEstimate:
+    def test_empty_frame(self):
+        assert vogt_estimate(0, 0, 0) == 0.0
+
+    def test_no_collisions_returns_successes(self):
+        assert vogt_estimate(10, 6, 0) == 6.0
+
+    def test_estimate_at_least_lower_bound(self):
+        estimate = vogt_estimate(4, 6, 6)
+        assert estimate >= vogt_lower_bound(6, 6)
+
+    def test_estimate_increases_with_collisions(self):
+        low = vogt_estimate(10, 4, 2)
+        high = vogt_estimate(4, 4, 8)
+        assert high > low
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            vogt_estimate(-1, 0, 0)
+
+    def test_reasonable_on_simulated_frames(self):
+        """Estimate a real ALOHA frame's population within a factor of 2."""
+        population = [e.to_hex() for e in EpcFactory().batch(24)]
+
+        def channel(epc):
+            return TagChannel(energized=True, reply_decode_p=1.0)
+
+        frame = run_aloha_frame(
+            population, channel, RandomStream(1), frame_size=32
+        )
+        empty = sum(1 for s in frame.slots if s.kind == "empty")
+        success = sum(1 for s in frame.slots if s.kind == "success")
+        collision = sum(1 for s in frame.slots if s.kind == "collision")
+        estimate = vogt_estimate(empty, success, collision)
+        assert 12 <= estimate <= 48
+
+
+class TestZeroSlotEstimate:
+    def test_all_empty_means_zero_tags(self):
+        assert zero_slot_estimate(16, 16) == 0.0
+
+    def test_none_empty_means_saturated(self):
+        assert zero_slot_estimate(16, 0) == float("inf")
+
+    def test_known_value(self):
+        # n = ln(z)/ln(1 - 1/N); z = 0.5, N = 16 -> ~10.7 tags.
+        estimate = zero_slot_estimate(16, 8)
+        assert estimate == pytest.approx(10.74, abs=0.1)
+
+    def test_invalid_frame(self):
+        with pytest.raises(ValueError):
+            zero_slot_estimate(1, 0)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            zero_slot_estimate(16, 17)
+
+    @given(st.integers(min_value=1, max_value=31))
+    def test_monotone_in_empties(self, empties):
+        # More empty slots -> fewer tags estimated.
+        fewer = zero_slot_estimate(32, empties)
+        more = zero_slot_estimate(32, min(empties + 1, 31))
+        assert more <= fewer + 1e-9
+
+
+class TestAveragedEstimate:
+    def test_average_of_probes(self):
+        single = zero_slot_estimate(16, 8)
+        averaged = averaged_zero_slot_estimate(16, [8, 8, 8])
+        assert averaged == pytest.approx(single)
+
+    def test_empty_probe_list_rejected(self):
+        with pytest.raises(ValueError):
+            averaged_zero_slot_estimate(16, [])
+
+    def test_all_saturated_returns_inf(self):
+        assert averaged_zero_slot_estimate(16, [0, 0]) == float("inf")
+
+    def test_variance_reduction(self):
+        """Averaging repeated probes tracks the true population better
+        than typical single probes."""
+        population = [e.to_hex() for e in EpcFactory().batch(20)]
+
+        def channel(epc):
+            return TagChannel(energized=True, reply_decode_p=1.0)
+
+        empties = []
+        for seed in range(12):
+            frame = run_aloha_frame(
+                population, channel, RandomStream(seed), frame_size=32
+            )
+            empties.append(sum(1 for s in frame.slots if s.kind == "empty"))
+        estimate = averaged_zero_slot_estimate(32, empties)
+        assert 15 <= estimate <= 26
+
+
+class TestCollisionFraction:
+    def test_zero_for_empty_frame(self):
+        assert collision_fraction(0, 0, 0) == 0.0
+
+    def test_fraction(self):
+        assert collision_fraction(2, 2, 4) == pytest.approx(0.5)

@@ -1,0 +1,136 @@
+"""Tests for Gen 2 tag memory banks and locks."""
+
+import pytest
+
+from repro.protocol.crc import crc16_bytes
+from repro.protocol.memory import (
+    LockState,
+    MemoryBank,
+    MemoryError,
+    TagMemory,
+)
+
+EPC = "30AA00000000000000000042"
+
+
+def _memory(**kwargs):
+    return TagMemory(epc_hex=EPC, **kwargs)
+
+
+class TestLayout:
+    def test_epc_bank_contains_epc(self):
+        memory = _memory()
+        assert memory.stored_epc_hex == EPC
+
+    def test_stored_crc_consistent(self):
+        memory = _memory()
+        crc_word, pc_word = memory.read_words(MemoryBank.EPC, 0, 2)
+        epc_bytes = bytes.fromhex(EPC)
+        assert crc_word == crc16_bytes(pc_word.to_bytes(2, "big") + epc_bytes)
+
+    def test_pc_encodes_epc_length(self):
+        memory = _memory()
+        pc_word = memory.read_words(MemoryBank.EPC, 1, 1)[0]
+        assert (pc_word >> 11) & 0x1F == 6  # six words of EPC
+
+    def test_reserved_bank_holds_passwords(self):
+        memory = _memory(kill_password=0xDEADBEEF, access_password=0x12345678)
+        words = memory.read_words(MemoryBank.RESERVED, 0, 4)
+        assert words == [0xDEAD, 0xBEEF, 0x1234, 0x5678]
+
+    def test_tid_bank(self):
+        memory = _memory(tid=0xE2001234)
+        assert memory.read_words(MemoryBank.TID, 0, 2) == [0xE200, 0x1234]
+
+    def test_invalid_epc_rejected(self):
+        with pytest.raises(MemoryError):
+            TagMemory(epc_hex="1234")
+
+
+class TestReadWrite:
+    def test_read_bounds(self):
+        memory = _memory()
+        with pytest.raises(MemoryError):
+            memory.read_words(MemoryBank.TID, 1, 2)
+        with pytest.raises(MemoryError):
+            memory.read_words(MemoryBank.EPC, 0, 0)
+
+    def test_write_and_read_back(self):
+        memory = _memory()
+        memory.write_word(MemoryBank.USER, 3, 0xCAFE)
+        assert memory.read_words(MemoryBank.USER, 3, 1) == [0xCAFE]
+
+    def test_write_bounds(self):
+        memory = _memory()
+        with pytest.raises(MemoryError):
+            memory.write_word(MemoryBank.USER, 99, 0)
+
+    def test_write_value_range(self):
+        memory = _memory()
+        with pytest.raises(MemoryError):
+            memory.write_word(MemoryBank.USER, 0, 0x10000)
+
+
+class TestLocks:
+    def test_lock_requires_secured(self):
+        memory = _memory()
+        with pytest.raises(MemoryError, match="Secured"):
+            memory.lock(MemoryBank.USER, LockState.PWD_WRITE, secured=False)
+
+    def test_pwd_write_blocks_insecure_writes(self):
+        memory = _memory()
+        memory.lock(MemoryBank.USER, LockState.PWD_WRITE, secured=True)
+        with pytest.raises(MemoryError, match="pwd-write"):
+            memory.write_word(MemoryBank.USER, 0, 1, secured=False)
+        memory.write_word(MemoryBank.USER, 0, 1, secured=True)  # allowed
+
+    def test_permalock_blocks_everything(self):
+        memory = _memory()
+        memory.lock(MemoryBank.USER, LockState.PERMALOCKED, secured=True)
+        with pytest.raises(MemoryError, match="permalocked"):
+            memory.write_word(MemoryBank.USER, 0, 1, secured=True)
+        with pytest.raises(MemoryError, match="permalocked"):
+            memory.lock(MemoryBank.USER, LockState.UNLOCKED, secured=True)
+
+    def test_permaunlock_blocks_future_locks(self):
+        memory = _memory()
+        memory.lock(MemoryBank.USER, LockState.PERMAUNLOCKED, secured=True)
+        with pytest.raises(MemoryError, match="permaunlocked"):
+            memory.lock(MemoryBank.USER, LockState.PWD_WRITE, secured=True)
+
+    def test_lock_state_query(self):
+        memory = _memory()
+        assert memory.lock_state(MemoryBank.EPC) is LockState.UNLOCKED
+
+
+class TestReencodeAndUserData:
+    def test_reencode_updates_epc_and_crc(self):
+        memory = _memory()
+        new_epc = "30BB00000000000000000099"
+        memory.reencode(new_epc)
+        assert memory.stored_epc_hex == new_epc
+        crc_word, pc_word = memory.read_words(MemoryBank.EPC, 0, 2)
+        assert crc_word == crc16_bytes(
+            pc_word.to_bytes(2, "big") + bytes.fromhex(new_epc)
+        )
+
+    def test_reencode_respects_locks(self):
+        memory = _memory()
+        memory.lock(MemoryBank.EPC, LockState.PWD_WRITE, secured=True)
+        with pytest.raises(MemoryError):
+            memory.reencode("30BB00000000000000000099", secured=False)
+
+    def test_reencode_validates_input(self):
+        memory = _memory()
+        with pytest.raises(MemoryError):
+            memory.reencode("xyz")
+
+    def test_user_data_round_trip(self):
+        memory = _memory()
+        memory.write_user_data(b"LOT-2007-06")
+        assert memory.read_user_data().rstrip(b"\x00") == b"LOT-2007-06"
+
+    def test_user_data_too_long(self):
+        memory = _memory(user_words=2)
+        with pytest.raises(MemoryError):
+            memory.write_user_data(b"12345")  # 5 bytes > 4

@@ -1,0 +1,147 @@
+"""Tests for Select-based population filtering."""
+
+import pytest
+
+from repro.protocol.commands import SelectCommand
+from repro.protocol.epc import EpcFactory
+from repro.protocol.select import (
+    EPC_BANK_OFFSET_BITS,
+    SelectError,
+    SelectionState,
+    mask_for_prefix_hex,
+    tag_matches,
+)
+
+
+def _populations():
+    """Two product families with distinct company prefixes."""
+    family_a = EpcFactory(company_prefix=614141).batch(5)
+    family_b = EpcFactory(company_prefix=98765).batch(5)
+    return (
+        [e.to_hex() for e in family_a],
+        [e.to_hex() for e in family_b],
+    )
+
+
+class TestTagMatches:
+    def test_empty_mask_matches_all(self):
+        epc = EpcFactory().next_epc().to_hex()
+        assert tag_matches(SelectCommand(mask=()), epc)
+
+    def test_prefix_mask_matches_family(self):
+        family_a, family_b = _populations()
+        select = mask_for_prefix_hex(family_a[0][:8])
+        assert all(tag_matches(select, epc) for epc in family_a)
+        assert not any(tag_matches(select, epc) for epc in family_b)
+
+    def test_full_epc_mask_matches_one(self):
+        family_a, _ = _populations()
+        select = mask_for_prefix_hex(family_a[0])
+        matching = [epc for epc in family_a if tag_matches(select, epc)]
+        assert matching == [family_a[0]]
+
+    def test_unsupported_bank(self):
+        epc = EpcFactory().next_epc().to_hex()
+        with pytest.raises(SelectError, match="bank"):
+            tag_matches(SelectCommand(mem_bank=2, mask=(1,)), epc)
+
+    def test_pointer_into_pc_words_rejected(self):
+        epc = EpcFactory().next_epc().to_hex()
+        with pytest.raises(SelectError, match="PC/CRC"):
+            tag_matches(
+                SelectCommand(pointer=0x10, mask=(1,)), epc
+            )
+
+    def test_mask_past_epc_never_matches(self):
+        epc = EpcFactory().next_epc().to_hex()
+        long_mask = tuple([0] * 97)
+        select = SelectCommand(
+            pointer=EPC_BANK_OFFSET_BITS, mask=long_mask
+        )
+        assert not tag_matches(select, epc)
+
+    def test_invalid_epc_hex(self):
+        with pytest.raises(SelectError):
+            tag_matches(SelectCommand(mask=(1,)), "zz" * 12)
+
+
+class TestMaskForPrefix:
+    def test_mask_length(self):
+        select = mask_for_prefix_hex("30AB")
+        assert len(select.mask) == 16
+        assert select.pointer == EPC_BANK_OFFSET_BITS
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(SelectError):
+            mask_for_prefix_hex("")
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(SelectError):
+            mask_for_prefix_hex("xy")
+
+
+class TestSelectionState:
+    def test_action0_asserts_matching(self):
+        family_a, family_b = _populations()
+        population = family_a + family_b
+        state = SelectionState()
+        state.apply(mask_for_prefix_hex(family_a[0][:10]), population)
+        assert state.filter(population) == family_a
+
+    def test_action4_inverts(self):
+        family_a, family_b = _populations()
+        population = family_a + family_b
+        select = mask_for_prefix_hex(family_a[0][:10])
+        inverted = SelectCommand(
+            target=select.target,
+            action=4,
+            mem_bank=select.mem_bank,
+            pointer=select.pointer,
+            mask=select.mask,
+        )
+        state = SelectionState()
+        state.apply(inverted, population)
+        assert state.filter(population) == family_b
+
+    def test_reapply_updates_flags(self):
+        family_a, family_b = _populations()
+        population = family_a + family_b
+        state = SelectionState()
+        state.apply(mask_for_prefix_hex(family_a[0][:10]), population)
+        state.apply(mask_for_prefix_hex(family_b[0][:10]), population)
+        assert state.filter(population) == family_b
+
+    def test_unsupported_action(self):
+        state = SelectionState()
+        with pytest.raises(SelectError, match="action"):
+            state.apply(SelectCommand(action=2), ["3" + "0" * 23])
+
+    def test_reset(self):
+        family_a, _ = _populations()
+        state = SelectionState()
+        state.apply(mask_for_prefix_hex(family_a[0][:10]), family_a)
+        state.reset()
+        assert state.filter(family_a) == []
+
+    def test_airtime_saved_composes_with_inventory(self):
+        """End-to-end: a Select keeps a Gen 2 round off ambient tags."""
+        from repro.protocol.gen2 import (
+            QAlgorithm,
+            TagChannel,
+            run_inventory_round,
+        )
+        from repro.sim.rng import RandomStream
+
+        family_a, family_b = _populations()
+        population = family_a + family_b
+        state = SelectionState()
+        state.apply(mask_for_prefix_hex(family_a[0][:10]), population)
+        filtered = state.filter(population)
+
+        def channel(epc):
+            return TagChannel(energized=True, reply_decode_p=1.0)
+
+        result = run_inventory_round(
+            filtered, channel, RandomStream(1), QAlgorithm(q_initial=4)
+        )
+        assert set(result.read_epcs) <= set(family_a)

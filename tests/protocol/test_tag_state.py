@@ -1,0 +1,227 @@
+"""Tests for the Gen 2 tag-side state machine."""
+
+import pytest
+
+from repro.protocol.commands import (
+    AckCommand,
+    QueryAdjustCommand,
+    QueryCommand,
+    QueryRepCommand,
+    Session,
+    Target,
+)
+from repro.protocol.tag_state import Gen2TagMachine, TagState, TagStateError
+from repro.sim.rng import RandomStream
+
+
+def _tag(**kwargs):
+    return Gen2TagMachine(epc="3" + "0" * 23, **kwargs)
+
+
+def _query(q=0, session=Session.S1, target=Target.A):
+    return QueryCommand(q=q, session=session, target=target)
+
+
+class TestInventoryFlow:
+    def test_q0_tag_replies_immediately(self):
+        tag = _tag()
+        rn16 = tag.on_query(_query(q=0), RandomStream(1))
+        assert rn16 is not None
+        assert tag.state is TagState.REPLY
+
+    def test_ack_with_right_handle_yields_epc(self):
+        tag = _tag()
+        rn16 = tag.on_query(_query(q=0), RandomStream(1))
+        epc = tag.on_ack(AckCommand(rn16=rn16))
+        assert epc == tag.epc
+        assert tag.state is TagState.ACKNOWLEDGED
+
+    def test_ack_with_wrong_handle_rejected(self):
+        tag = _tag()
+        rn16 = tag.on_query(_query(q=0), RandomStream(1))
+        assert tag.on_ack(AckCommand(rn16=(rn16 + 1) & 0xFFFF)) is None
+        assert tag.state is TagState.ARBITRATE
+
+    def test_nonzero_slot_arbitrates(self):
+        tag = _tag()
+        # With q=8 a zero draw is unlikely; find a seed that arbitrates.
+        for seed in range(20):
+            result = tag.on_query(_query(q=8), RandomStream(seed))
+            if result is None and tag.state is TagState.ARBITRATE:
+                break
+        else:
+            pytest.fail("never arbitrated")
+
+    def test_query_reps_count_down_to_reply(self):
+        tag = _tag()
+        rng = RandomStream(3)
+        result = tag.on_query(_query(q=4), rng)
+        reps = 0
+        while result is None and reps < 16:
+            result = tag.on_query_rep(QueryRepCommand(Session.S1), rng)
+            reps += 1
+        assert result is not None
+        assert tag.state is TagState.REPLY
+
+    def test_acknowledged_flips_flag_at_round_end(self):
+        tag = _tag()
+        rn16 = tag.on_query(_query(q=0), RandomStream(1))
+        tag.on_ack(AckCommand(rn16=rn16))
+        tag.end_of_round()
+        assert tag.inventoried_b[Session.S1]
+        assert tag.state is TagState.READY
+
+    def test_inventoried_tag_ignores_target_a(self):
+        tag = _tag()
+        tag.inventoried_b[Session.S1] = True
+        assert tag.on_query(_query(q=0, target=Target.A), RandomStream(1)) is None
+        assert tag.state is TagState.READY
+
+    def test_inventoried_tag_answers_target_b(self):
+        tag = _tag()
+        tag.inventoried_b[Session.S1] = True
+        rn16 = tag.on_query(_query(q=0, target=Target.B), RandomStream(1))
+        assert rn16 is not None
+
+    def test_sessions_independent(self):
+        tag = _tag()
+        rn16 = tag.on_query(_query(q=0, session=Session.S1), RandomStream(1))
+        tag.on_ack(AckCommand(rn16=rn16))
+        tag.end_of_round()
+        # S2 flag untouched: the tag still answers S2/A queries.
+        assert tag.on_query(
+            _query(q=0, session=Session.S2), RandomStream(2)
+        ) is not None
+
+    def test_query_rep_wrong_session_ignored(self):
+        tag = _tag()
+        tag.on_query(_query(q=8, session=Session.S1), RandomStream(4))
+        assert tag.on_query_rep(QueryRepCommand(Session.S2), RandomStream(4)) is None
+
+    def test_query_adjust_redraws(self):
+        tag = _tag()
+        tag.on_query(_query(q=8), RandomStream(5))
+        result = tag.on_query_adjust(
+            QueryAdjustCommand(session=Session.S1, updn=-1),
+            RandomStream(6),
+            new_q=0,
+        )
+        # Q=0 means the redraw must land on slot 0: immediate reply.
+        assert result is not None
+
+    def test_query_adjust_invalid_q(self):
+        tag = _tag()
+        tag.on_query(_query(q=4), RandomStream(7))
+        with pytest.raises(TagStateError):
+            tag.on_query_adjust(
+                QueryAdjustCommand(updn=1), RandomStream(7), new_q=16
+            )
+
+
+class TestPower:
+    def test_unpowered_tag_is_silent(self):
+        tag = _tag()
+        tag.power_down()
+        assert tag.on_query(_query(q=0), RandomStream(1)) is None
+
+    def test_power_loss_resets_s0_but_not_s1(self):
+        tag = _tag()
+        tag.inventoried_b[Session.S0] = True
+        tag.inventoried_b[Session.S1] = True
+        tag.power_down()
+        assert not tag.inventoried_b[Session.S0]
+        assert tag.inventoried_b[Session.S1]  # S1 persists briefly
+
+    def test_power_up_restores_ready(self):
+        tag = _tag()
+        tag.power_down()
+        tag.power_up()
+        assert tag.state is TagState.READY
+        assert tag.on_query(_query(q=0), RandomStream(1)) is not None
+
+
+class TestAccessAndKill:
+    def _acknowledged(self, **kwargs):
+        tag = _tag(**kwargs)
+        rn16 = tag.on_query(_query(q=0), RandomStream(1))
+        tag.on_ack(AckCommand(rn16=rn16))
+        return tag
+
+    def test_access_zero_password_opens(self):
+        tag = self._acknowledged()
+        assert tag.req_access(0)
+        assert tag.state is TagState.OPEN
+
+    def test_access_with_password_secures(self):
+        tag = self._acknowledged(access_password=0xDEAD)
+        assert tag.req_access(0xDEAD)
+        assert tag.state is TagState.SECURED
+
+    def test_access_wrong_password(self):
+        tag = self._acknowledged(access_password=0xDEAD)
+        assert not tag.req_access(0xBEEF)
+
+    def test_access_from_wrong_state(self):
+        tag = _tag()
+        with pytest.raises(TagStateError):
+            tag.req_access(0)
+
+    def test_kill_requires_nonzero_password(self):
+        tag = self._acknowledged(kill_password=0)
+        tag.req_access(0)
+        assert not tag.kill(0)
+
+    def test_kill_silences_forever(self):
+        tag = self._acknowledged(kill_password=0x1234)
+        tag.req_access(0)
+        assert tag.kill(0x1234)
+        assert tag.state is TagState.KILLED
+        tag.power_down()
+        tag.power_up()
+        assert tag.on_query(_query(q=0), RandomStream(1)) is None
+
+    def test_kill_from_wrong_state(self):
+        tag = _tag()
+        with pytest.raises(TagStateError):
+            tag.kill(1)
+
+
+class TestEquivalenceWithAbstractSimulator:
+    def test_full_round_reads_every_tag_like_gen2_module(self):
+        """Drive a reader loop over the state machines and check the
+        observable outcome matches the abstract simulator's guarantee:
+        a perfect channel eventually inventories every tag exactly once
+        per target-A pass."""
+        rng = RandomStream(42)
+        tags = [
+            Gen2TagMachine(epc=f"30{i:022X}") for i in range(8)
+        ]
+        read: list = []
+        for round_index in range(40):
+            query = _query(q=3)
+            replies = {}
+            for tag in tags:
+                rn16 = tag.on_query(query, rng)
+                if rn16 is not None:
+                    replies[tag.epc] = rn16
+            # Walk the remaining slots.
+            for _ in range(1 << query.q):
+                if len(replies) == 1:
+                    (epc, rn16), = replies.items()
+                    tag = next(t for t in tags if t.epc == epc)
+                    got = tag.on_ack(AckCommand(rn16=rn16))
+                    if got:
+                        read.append(got)
+                # Advance every tag; collect the next slot's repliers.
+                replies = {}
+                for tag in tags:
+                    rn16 = tag.on_query_rep(QueryRepCommand(Session.S1), rng)
+                    if rn16 is not None:
+                        replies[tag.epc] = rn16
+            for tag in tags:
+                tag.end_of_round()
+            if len(set(read)) == len(tags):
+                break
+        assert len(set(read)) == len(tags)
+        # And nobody was inventoried twice against target A.
+        assert len(read) == len(set(read))

@@ -1,0 +1,112 @@
+"""Tests for the object registry and tracking back-end."""
+
+import pytest
+
+from repro.reader.backend import (
+    ObjectRegistry,
+    RegistryError,
+    TrackedObject,
+    TrackingBackend,
+)
+from repro.sim.events import TagReadEvent
+
+
+def _event(t, epc, antenna="a0"):
+    return TagReadEvent(t, epc, "r0", antenna, rssi_dbm=-60.0)
+
+
+def _registry():
+    registry = ObjectRegistry()
+    registry.register(TrackedObject("box-0", frozenset({"A" * 24, "B" * 24})))
+    registry.register(TrackedObject("box-1", frozenset({"C" * 24})))
+    return registry
+
+
+class TestTrackedObject:
+    def test_requires_tags(self):
+        with pytest.raises(RegistryError):
+            TrackedObject("x", frozenset())
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = _registry()
+        assert registry.object_for_epc("A" * 24).object_id == "box-0"
+        assert registry.object_for_epc("C" * 24).object_id == "box-1"
+        assert len(registry) == 2
+
+    def test_unknown_epc(self):
+        assert _registry().object_for_epc("F" * 24) is None
+
+    def test_duplicate_object_rejected(self):
+        registry = _registry()
+        with pytest.raises(RegistryError):
+            registry.register(TrackedObject("box-0", frozenset({"D" * 24})))
+
+    def test_shared_epc_rejected(self):
+        registry = _registry()
+        with pytest.raises(RegistryError):
+            registry.register(TrackedObject("box-2", frozenset({"A" * 24})))
+
+    def test_get_unknown(self):
+        with pytest.raises(RegistryError):
+            _registry().get("nope")
+
+    def test_all_objects(self):
+        assert len(_registry().all_objects()) == 2
+
+
+class TestTrackingBackend:
+    def test_detection_via_any_tag(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "B" * 24)])
+        decisions = backend.decide()
+        assert decisions["box-0"].detected
+        assert not decisions["box-1"].detected
+
+    def test_redundancy_used_flag(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "B" * 24)])  # one of two tags seen
+        decision = backend.decide()["box-0"]
+        assert decision.redundancy_used
+
+    def test_all_tags_seen_not_flagged(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "A" * 24), _event(2.0, "B" * 24)])
+        assert not backend.decide()["box-0"].redundancy_used
+
+    def test_first_seen_time(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(5.0, "A" * 24), _event(7.0, "B" * 24)])
+        assert backend.decide()["box-0"].first_seen == 5.0
+
+    def test_missed_objects(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "C" * 24)])
+        assert backend.missed_objects() == ["box-0"]
+
+    def test_unknown_epcs_ignored(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "9" * 24)])
+        assert set(backend.missed_objects()) == {"box-0", "box-1"}
+
+    def test_action_hook_fires_on_detection(self):
+        detected = []
+        backend = TrackingBackend(
+            _registry(), on_detect=lambda d: detected.append(d.object_id)
+        )
+        backend.ingest([_event(1.0, "A" * 24)])
+        backend.decide()
+        assert detected == ["box-0"]
+
+    def test_reset(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "A" * 24)])
+        backend.reset()
+        assert backend.event_count == 0
+        assert len(backend.missed_objects()) == 2
+
+    def test_event_count(self):
+        backend = TrackingBackend(_registry())
+        backend.ingest([_event(1.0, "A" * 24), _event(2.0, "C" * 24)])
+        assert backend.event_count == 2

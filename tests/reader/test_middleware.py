@@ -1,0 +1,166 @@
+"""Tests for dedup, smoothing, and location filtering."""
+
+import pytest
+
+from repro.reader.middleware import (
+    DuplicateEliminator,
+    LocationFilter,
+    MiddlewarePipeline,
+    SlidingWindowSmoother,
+)
+from repro.sim.events import TagReadEvent
+
+
+def _event(t, epc="E" * 24, reader="r0", antenna="a0"):
+    return TagReadEvent(t, epc, reader, antenna, rssi_dbm=-60.0)
+
+
+class TestDuplicateEliminator:
+    def test_first_read_passes(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        assert len(dedup.filter([_event(0.0)])) == 1
+
+    def test_repeat_within_window_dropped(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        out = dedup.filter([_event(0.0), _event(0.5), _event(0.9)])
+        assert len(out) == 1
+
+    def test_repeat_after_window_passes(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        out = dedup.filter([_event(0.0), _event(1.5)])
+        assert len(out) == 2
+
+    def test_different_antennas_independent(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        out = dedup.filter([_event(0.0, antenna="a0"), _event(0.1, antenna="a1")])
+        assert len(out) == 2
+
+    def test_different_tags_independent(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        out = dedup.filter([_event(0.0, epc="A" * 24), _event(0.1, epc="B" * 24)])
+        assert len(out) == 2
+
+    def test_state_persists_across_batches(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        dedup.filter([_event(0.0)])
+        assert dedup.filter([_event(0.5)]) == []
+
+    def test_reset(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        dedup.filter([_event(0.0)])
+        dedup.reset()
+        assert len(dedup.filter([_event(0.1)])) == 1
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            DuplicateEliminator(window_s=-1.0)
+
+
+class TestSmoother:
+    def test_single_read_makes_interval(self):
+        smoother = SlidingWindowSmoother(window_s=2.0)
+        [interval] = smoother.smooth([_event(1.0)])
+        assert interval.start == 1.0
+        assert interval.end == 3.0
+        assert interval.duration == pytest.approx(2.0)
+
+    def test_flicker_bridged_by_window(self):
+        smoother = SlidingWindowSmoother(window_s=2.0)
+        events = [_event(t) for t in (0.0, 1.5, 3.0)]
+        intervals = smoother.smooth(events)
+        assert len(intervals) == 1
+        assert intervals[0].end == pytest.approx(5.0)
+
+    def test_long_gap_splits_interval(self):
+        smoother = SlidingWindowSmoother(window_s=1.0)
+        events = [_event(t) for t in (0.0, 10.0)]
+        intervals = smoother.smooth(events)
+        assert len(intervals) == 2
+
+    def test_multiple_tags_separate(self):
+        smoother = SlidingWindowSmoother(window_s=1.0)
+        events = [_event(0.0, epc="A" * 24), _event(0.2, epc="B" * 24)]
+        intervals = smoother.smooth(events)
+        assert {iv.epc for iv in intervals} == {"A" * 24, "B" * 24}
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSmoother(window_s=0.0)
+
+    def test_adaptive_window_from_rate(self):
+        # 10 reads/s -> window ~ 0.3 s at 5% miss target.
+        times = [i / 10 for i in range(50)]
+        window = SlidingWindowSmoother.adaptive_window(times, 0.05)
+        assert 0.2 <= window <= 0.4
+
+    def test_adaptive_window_sparse_data_fallback(self):
+        assert SlidingWindowSmoother.adaptive_window([1.0]) == 2.0
+
+    def test_adaptive_window_invalid_target(self):
+        with pytest.raises(ValueError):
+            SlidingWindowSmoother.adaptive_window([1.0, 2.0], 0.0)
+
+    def test_slower_rate_wider_window(self):
+        fast = SlidingWindowSmoother.adaptive_window(
+            [i / 10 for i in range(20)]
+        )
+        slow = SlidingWindowSmoother.adaptive_window(
+            [i / 2 for i in range(20)]
+        )
+        assert slow > fast
+
+
+class TestLocationFilter:
+    def _filter(self, interest=None):
+        return LocationFilter(
+            zone_of={
+                ("r0", "a0"): "dock",
+                ("r0", "a1"): "gate",
+            },
+            zones_of_interest=interest,
+        )
+
+    def test_zone_lookup(self):
+        assert self._filter().zone_for(_event(0.0)) == "dock"
+
+    def test_unmapped_dropped(self):
+        out = self._filter().filter([_event(0.0, reader="r9")])
+        assert out == []
+
+    def test_interest_filtering(self):
+        events = [_event(0.0, antenna="a0"), _event(1.0, antenna="a1")]
+        out = self._filter(interest={"gate"}).filter(events)
+        assert len(out) == 1
+        assert out[0].antenna_id == "a1"
+
+    def test_no_interest_keeps_all_mapped(self):
+        events = [_event(0.0, antenna="a0"), _event(1.0, antenna="a1")]
+        assert len(self._filter().filter(events)) == 2
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            LocationFilter({})
+
+
+class TestPipeline:
+    def test_full_pipeline(self):
+        pipeline = MiddlewarePipeline(
+            location=LocationFilter({("r0", "a0"): "gate"}),
+            dedup=DuplicateEliminator(window_s=0.5),
+            smoother=SlidingWindowSmoother(window_s=2.0),
+        )
+        events = [
+            _event(0.0),
+            _event(0.1),  # duplicate
+            _event(1.0),
+            _event(2.0, reader="r9"),  # unmapped
+        ]
+        clean, presences = pipeline.process(events)
+        assert len(clean) == 2
+        assert len(presences) == 1
+
+    def test_pipeline_without_location_filter(self):
+        pipeline = MiddlewarePipeline()
+        clean, presences = pipeline.process([_event(0.0, reader="anything")])
+        assert len(clean) == 1
+        assert len(presences) == 1

@@ -1,0 +1,154 @@
+"""Tests for the multi-portal site tracker."""
+
+import pytest
+
+from repro.reader.backend import ObjectRegistry, TrackedObject
+from repro.reader.site import Checkpoint, SiteError, SiteTracker
+from repro.sim.events import TagReadEvent
+
+
+def _event(t, epc, reader="r0", antenna="a0"):
+    return TagReadEvent(t, epc, reader, antenna, rssi_dbm=-60.0)
+
+
+def _registry(count=3, tags_per_object=1):
+    registry = ObjectRegistry()
+    for i in range(count):
+        epcs = frozenset(
+            f"30{i:020X}{j:02X}" for j in range(tags_per_object)
+        )
+        registry.register(TrackedObject(f"obj-{i}", epcs))
+    return registry
+
+
+def _site(registry=None, groups=None):
+    return SiteTracker(
+        checkpoints=[
+            Checkpoint("dock", (("r0", "a0"),)),
+            Checkpoint("belt", (("r1", "a0"),)),
+            Checkpoint("gate", (("r2", "a0"), ("r2", "a1"))),
+        ],
+        registry=registry or _registry(),
+        groups=groups,
+    )
+
+
+def _epc(i, j=0):
+    return f"30{i:020X}{j:02X}"
+
+
+class TestConfiguration:
+    def test_route_order(self):
+        assert _site().route == ["dock", "belt", "gate"]
+
+    def test_empty_checkpoints_rejected(self):
+        with pytest.raises(SiteError):
+            SiteTracker([], _registry())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SiteError):
+            SiteTracker(
+                [
+                    Checkpoint("dock", (("r0", "a0"),)),
+                    Checkpoint("dock", (("r1", "a0"),)),
+                ],
+                _registry(),
+            )
+
+    def test_shared_antenna_rejected(self):
+        with pytest.raises(SiteError):
+            SiteTracker(
+                [
+                    Checkpoint("dock", (("r0", "a0"),)),
+                    Checkpoint("gate", (("r0", "a0"),)),
+                ],
+                _registry(),
+            )
+
+    def test_checkpoint_needs_antennas(self):
+        with pytest.raises(SiteError):
+            Checkpoint("dock", ())
+
+
+class TestIngest:
+    def test_mapped_events_land(self):
+        site = _site()
+        added = site.ingest([_event(1.0, _epc(0), reader="r0")])
+        assert added == 1
+
+    def test_unknown_antenna_dropped(self):
+        site = _site()
+        assert site.ingest([_event(1.0, _epc(0), reader="r9")]) == 0
+
+    def test_unknown_epc_dropped(self):
+        site = _site()
+        assert site.ingest([_event(1.0, "DE" * 12, reader="r0")]) == 0
+
+
+class TestJourneys:
+    def test_full_coverage_is_complete(self):
+        site = _site()
+        for t, reader in ((0.0, "r0"), (10.0, "r1"), (20.0, "r2")):
+            site.ingest([_event(t, _epc(0), reader=reader)])
+        journey = site.journeys()["obj-0"]
+        assert journey.complete(site.route)
+        assert journey.inferred == []
+
+    def test_route_constraint_fills_middle_miss(self):
+        site = _site()
+        site.ingest([_event(0.0, _epc(0), reader="r0")])
+        site.ingest([_event(20.0, _epc(0), reader="r2")])
+        journey = site.journeys()["obj-0"]
+        assert journey.checkpoints_seen == {"dock", "gate"}
+        assert journey.complete(site.route)  # belt inferred
+        assert [o.checkpoint for o in journey.inferred] == ["belt"]
+
+    def test_endpoint_miss_not_recoverable_by_route(self):
+        site = _site()
+        site.ingest([_event(0.0, _epc(0), reader="r0")])
+        site.ingest([_event(10.0, _epc(0), reader="r1")])
+        journey = site.journeys()["obj-0"]
+        assert not journey.complete(site.route)
+
+    def test_accompany_group_recovers_member(self):
+        registry = _registry(count=4)
+        site = _site(
+            registry=registry,
+            groups={"pallet": ["obj-0", "obj-1", "obj-2", "obj-3"]},
+        )
+        # Everyone seen at dock; obj-3 missed at gate.
+        for i in range(4):
+            site.ingest([_event(float(i), _epc(i), reader="r0")])
+        for i in range(3):
+            site.ingest([_event(20.0 + i, _epc(i), reader="r2")])
+        journey = site.journeys()["obj-3"]
+        assert "gate" in journey.checkpoints_known
+
+    def test_completion_report(self):
+        site = _site()
+        # obj-0 fully seen; obj-1 missed the belt (recoverable);
+        # obj-2 never seen anywhere.
+        for t, reader in ((0.0, "r0"), (10.0, "r1"), (20.0, "r2")):
+            site.ingest([_event(t, _epc(0), reader=reader)])
+        site.ingest([_event(1.0, _epc(1), reader="r0")])
+        site.ingest([_event(21.0, _epc(1), reader="r2")])
+        raw, corrected, total = site.completion_report()
+        assert raw == 1
+        assert corrected == 2
+        assert total == 3
+
+    def test_multiple_tags_per_object_fused(self):
+        registry = _registry(count=1, tags_per_object=2)
+        site = _site(registry=registry)
+        site.ingest([_event(0.0, _epc(0, 0), reader="r0")])
+        site.ingest([_event(10.0, _epc(0, 1), reader="r1")])
+        site.ingest([_event(20.0, _epc(0, 0), reader="r2")])
+        journey = site.journeys()["obj-0"]
+        assert journey.complete(site.route)
+
+    def test_reset(self):
+        site = _site()
+        site.ingest([_event(0.0, _epc(0), reader="r0")])
+        site.reset()
+        raw, corrected, total = site.completion_report()
+        assert raw == 0 and corrected == 0 and total == 3

@@ -1,0 +1,128 @@
+"""Tests for the SMURF-style adaptive cleaner."""
+
+import pytest
+
+from repro.reader.smurf import SmurfCleaner
+from repro.sim.events import TagReadEvent
+
+
+def _events(times, epc="A" * 24):
+    return [
+        TagReadEvent(t, epc, "r0", "a0", rssi_dbm=-60.0) for t in sorted(times)
+    ]
+
+
+class TestValidation:
+    def test_bad_epoch(self):
+        with pytest.raises(ValueError):
+            SmurfCleaner(epoch_s=0.0)
+
+    def test_bad_delta(self):
+        with pytest.raises(ValueError):
+            SmurfCleaner(delta=1.0)
+
+    def test_bad_clamp(self):
+        with pytest.raises(ValueError):
+            SmurfCleaner(min_window_epochs=5, max_window_epochs=2)
+
+
+class TestWindowSizing:
+    def test_strong_tag_gets_narrow_window(self):
+        cleaner = SmurfCleaner(delta=0.05)
+        assert cleaner.required_window_epochs(0.95) <= 2
+
+    def test_weak_tag_gets_wide_window(self):
+        cleaner = SmurfCleaner(delta=0.05)
+        strong = cleaner.required_window_epochs(0.9)
+        weak = cleaner.required_window_epochs(0.2)
+        assert weak > strong
+
+    def test_zero_rate_clamps_to_max(self):
+        cleaner = SmurfCleaner(max_window_epochs=25)
+        assert cleaner.required_window_epochs(0.0) == 25
+
+    def test_window_meets_completeness_target(self):
+        cleaner = SmurfCleaner(delta=0.05)
+        for rate in (0.2, 0.5, 0.8):
+            w = cleaner.required_window_epochs(rate)
+            if w < cleaner.max_window_epochs:
+                assert (1.0 - rate) ** w <= cleaner.delta + 1e-9
+
+
+class TestTransitionDetection:
+    def test_empty_window_of_strong_tag_is_transition(self):
+        cleaner = SmurfCleaner()
+        assert cleaner.transition_detected(0.9, window_epochs=6, window_reads=0)
+
+    def test_expected_count_is_not_transition(self):
+        cleaner = SmurfCleaner()
+        assert not cleaner.transition_detected(
+            0.5, window_epochs=10, window_reads=5
+        )
+
+    def test_weak_tag_needs_longer_silence(self):
+        cleaner = SmurfCleaner()
+        assert not cleaner.transition_detected(
+            0.2, window_epochs=3, window_reads=0
+        )
+
+
+class TestPresenceIntervals:
+    def test_steady_tag_single_interval(self):
+        cleaner = SmurfCleaner(epoch_s=0.2)
+        events = _events([i * 0.2 + 0.01 for i in range(20)])
+        intervals = cleaner.presence_intervals(events, duration_s=4.0)
+        assert len(intervals["A" * 24]) == 1
+        start, end = intervals["A" * 24][0]
+        assert start == pytest.approx(0.0, abs=0.21)
+        assert end == pytest.approx(4.0, abs=0.21)
+
+    def test_flicker_bridged_for_weak_tag(self):
+        """A tag reading every third epoch must not flap: its window
+        adapts wide enough to bridge the silent epochs."""
+        cleaner = SmurfCleaner(epoch_s=0.2)
+        events = _events([i * 0.6 + 0.01 for i in range(7)])  # every 3rd epoch
+        intervals = cleaner.presence_intervals(events, duration_s=4.2)
+        assert len(intervals["A" * 24]) == 1
+
+    def test_true_departure_splits(self):
+        """A strong tag that vanishes for a long stretch yields two
+        intervals — responsiveness is retained."""
+        cleaner = SmurfCleaner(epoch_s=0.2, max_window_epochs=6)
+        first = [i * 0.2 + 0.01 for i in range(10)]          # 0.0 - 2.0
+        second = [8.0 + i * 0.2 + 0.01 for i in range(10)]   # 8.0 - 10.0
+        intervals = cleaner.presence_intervals(
+            _events(first + second), duration_s=10.2
+        )
+        assert len(intervals["A" * 24]) == 2
+
+    def test_multiple_tags_independent(self):
+        cleaner = SmurfCleaner(epoch_s=0.2)
+        events = _events([0.01, 0.21], epc="A" * 24) + _events(
+            [1.01], epc="B" * 24
+        )
+        intervals = cleaner.presence_intervals(
+            sorted(events, key=lambda e: e.time), duration_s=2.0
+        )
+        assert set(intervals) == {"A" * 24, "B" * 24}
+
+    def test_invalid_duration(self):
+        with pytest.raises(ValueError):
+            SmurfCleaner().presence_intervals([], 0.0)
+
+    def test_adaptive_beats_fixed_window_on_mixed_tags(self):
+        """The SMURF pitch: one fixed window cannot serve both a strong
+        and a weak tag — the adaptive cleaner keeps the weak tag whole
+        AND notices the strong tag's true departure."""
+        cleaner = SmurfCleaner(epoch_s=0.2, max_window_epochs=8)
+        strong = [i * 0.2 + 0.01 for i in range(10)]           # dense, then gone
+        weak = [i * 0.8 + 0.02 for i in range(12)]             # sparse all along
+        events = sorted(
+            _events(strong, epc="A" * 24) + _events(weak, epc="B" * 24),
+            key=lambda e: e.time,
+        )
+        intervals = cleaner.presence_intervals(events, duration_s=9.8)
+        # Weak-but-present tag: one continuous interval.
+        assert len(intervals["B" * 24]) == 1
+        # Strong tag: its interval ends well before the pass does.
+        assert intervals["A" * 24][-1][1] < 6.0

@@ -1,0 +1,98 @@
+"""Tests for the AR400-style XML wire format."""
+
+import pytest
+
+from repro.reader.wire import (
+    PolledInterface,
+    WireFormatError,
+    parse_tag_list,
+    render_tag_list,
+)
+from repro.sim.events import TagReadEvent
+
+
+def _event(t=1.0, epc="3" + "0" * 23, reader="reader-0", antenna="ant-0"):
+    return TagReadEvent(t, epc, reader, antenna, rssi_dbm=-61.5)
+
+
+class TestRoundTrip:
+    def test_empty_list(self):
+        assert parse_tag_list(render_tag_list([])) == []
+
+    def test_single_event(self):
+        [parsed] = parse_tag_list(render_tag_list([_event()]))
+        assert parsed.epc == "3" + "0" * 23
+        assert parsed.reader_id == "reader-0"
+        assert parsed.antenna_id == "ant-0"
+        assert parsed.time == pytest.approx(1.0)
+        assert parsed.rssi_dbm == pytest.approx(-61.5)
+
+    def test_many_events_preserve_order(self):
+        events = [_event(t=float(i), antenna=f"ant-{i}") for i in range(5)]
+        parsed = parse_tag_list(render_tag_list(events))
+        assert [e.antenna_id for e in parsed] == [f"ant-{i}" for i in range(5)]
+
+    def test_xml_structure(self):
+        doc = render_tag_list([_event()])
+        assert doc.startswith("<TagList>")
+        assert "<EPC>" in doc
+        assert "<RSSI>" in doc
+
+
+class TestParseErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(WireFormatError, match="malformed"):
+            parse_tag_list("<TagList><Tag>")
+
+    def test_wrong_root(self):
+        with pytest.raises(WireFormatError, match="root"):
+            parse_tag_list("<Wrong/>")
+
+    def test_missing_field(self):
+        with pytest.raises(WireFormatError, match="Timestamp"):
+            parse_tag_list(
+                "<TagList><Tag><EPC>x</EPC><ReaderID>r</ReaderID>"
+                "<AntennaID>a</AntennaID><RSSI>-60</RSSI></Tag></TagList>"
+            )
+
+    def test_invalid_numeric(self):
+        with pytest.raises(WireFormatError, match="numerics"):
+            parse_tag_list(
+                "<TagList><Tag><EPC>x</EPC><ReaderID>r</ReaderID>"
+                "<AntennaID>a</AntennaID><Timestamp>soon</Timestamp>"
+                "<RSSI>-60</RSSI></Tag></TagList>"
+            )
+
+
+class TestPolledInterface:
+    def test_poll_drains_up_to_now(self):
+        events = [_event(t=float(i)) for i in range(5)]
+        interface = PolledInterface(events)
+        first = parse_tag_list(interface.poll(now=2.0))
+        assert [e.time for e in first] == [0.0, 1.0, 2.0]
+        assert not interface.drained
+
+    def test_second_poll_gets_remainder(self):
+        events = [_event(t=float(i)) for i in range(4)]
+        interface = PolledInterface(events)
+        interface.poll(now=1.0)
+        rest = parse_tag_list(interface.poll(now=10.0))
+        assert [e.time for e in rest] == [2.0, 3.0]
+        assert interface.drained
+
+    def test_nothing_lost_regardless_of_poll_rate(self):
+        """The paper: results were 'independent of the application level
+        polling speed' because the buffer loses nothing."""
+        events = [_event(t=float(i) / 10) for i in range(30)]
+        fast = PolledInterface(list(events))
+        slow = PolledInterface(list(events))
+        fast_total = []
+        for step in range(30):
+            fast_total += parse_tag_list(fast.poll(now=step / 10))
+        slow_total = parse_tag_list(slow.poll(now=100.0))
+        assert len(fast_total) == len(slow_total) == 30
+
+    def test_poll_empty_buffer(self):
+        interface = PolledInterface([])
+        assert parse_tag_list(interface.poll(1.0)) == []
+        assert interface.drained

@@ -1,0 +1,148 @@
+"""Tests for inter-tag near-field coupling."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rf.coupling import CouplingModel, grid_positions
+from repro.rf.geometry import Vec3
+
+spacings = st.floats(min_value=0.0, max_value=0.1)
+
+
+class TestPairPenalty:
+    def test_contact_parallel_full_penalty(self):
+        model = CouplingModel(contact_penalty_db=30.0)
+        penalty = model.pair_penalty_db(0.0, Vec3.unit_x(), Vec3.unit_x())
+        assert penalty == pytest.approx(30.0)
+
+    def test_beyond_safe_distance_zero(self):
+        model = CouplingModel(safe_distance_m=0.04)
+        assert model.pair_penalty_db(0.04, Vec3.unit_x(), Vec3.unit_x()) == 0.0
+        assert model.pair_penalty_db(0.10, Vec3.unit_x(), Vec3.unit_x()) == 0.0
+
+    def test_orthogonal_tags_do_not_couple(self):
+        model = CouplingModel()
+        assert model.pair_penalty_db(
+            0.001, Vec3.unit_x(), Vec3.unit_y()
+        ) == pytest.approx(0.0)
+
+    def test_oblique_partial_coupling(self):
+        model = CouplingModel(contact_penalty_db=30.0)
+        parallel = model.pair_penalty_db(0.01, Vec3.unit_x(), Vec3.unit_x())
+        oblique = model.pair_penalty_db(
+            0.01, Vec3.unit_x(), Vec3(1, 1, 0).normalized()
+        )
+        assert 0.0 < oblique < parallel
+
+    def test_negative_separation_rejected(self):
+        with pytest.raises(ValueError):
+            CouplingModel().pair_penalty_db(-0.01, Vec3.unit_x(), Vec3.unit_x())
+
+    @given(spacings)
+    def test_penalty_monotone_in_distance(self, sep):
+        model = CouplingModel()
+        near = model.pair_penalty_db(
+            max(0.0, sep - 0.002), Vec3.unit_x(), Vec3.unit_x()
+        )
+        far = model.pair_penalty_db(sep, Vec3.unit_x(), Vec3.unit_x())
+        assert near >= far
+
+    @given(spacings)
+    def test_penalty_bounded(self, sep):
+        model = CouplingModel(contact_penalty_db=30.0)
+        penalty = model.pair_penalty_db(sep, Vec3.unit_x(), Vec3.unit_x())
+        assert 0.0 <= penalty <= 30.0
+
+
+class TestTotalPenalty:
+    def test_paper_spacings_show_knee(self):
+        """Penalties at the paper's five tested spacings decline to ~zero
+        by 40 mm — the measured minimum safe distance."""
+        model = CouplingModel()
+        axis = Vec3.unit_x()
+        penalties = []
+        for spacing in (0.0003, 0.004, 0.010, 0.020, 0.040):
+            positions = grid_positions(10, spacing, direction=Vec3.unit_z())
+            axes = [axis] * 10
+            penalties.append(model.total_penalty_db(5, positions, axes))
+        assert penalties[0] >= 30.0  # 0.3 mm: essentially dead
+        assert penalties == sorted(penalties, reverse=True)
+        assert penalties[-1] == pytest.approx(0.0, abs=1e-9)  # 40 mm: safe
+        # Gradual knee rather than a cliff: the 10 mm point sits
+        # strictly between dead and safe.
+        assert 5.0 < penalties[2] < penalties[0]
+
+    def test_middle_tag_suffers_most(self):
+        model = CouplingModel()
+        positions = grid_positions(5, 0.01, direction=Vec3.unit_z())
+        axes = [Vec3.unit_x()] * 5
+        middle = model.total_penalty_db(2, positions, axes)
+        edge = model.total_penalty_db(0, positions, axes)
+        assert middle > edge
+
+    def test_mismatched_lengths_rejected(self):
+        model = CouplingModel()
+        with pytest.raises(ValueError):
+            model.total_penalty_db(0, [Vec3.zero()], [])
+
+    def test_index_out_of_range(self):
+        model = CouplingModel()
+        with pytest.raises(IndexError):
+            model.total_penalty_db(5, [Vec3.zero()], [Vec3.unit_x()])
+
+    def test_single_tag_no_penalty(self):
+        model = CouplingModel()
+        assert model.total_penalty_db(0, [Vec3.zero()], [Vec3.unit_x()]) == 0.0
+
+
+class TestMinimumSafeSpacing:
+    def test_parallel_tags_need_tens_of_mm(self):
+        model = CouplingModel()
+        spacing = model.minimum_safe_spacing_m(Vec3.unit_x(), Vec3.unit_x())
+        assert 0.01 <= spacing <= 0.04
+
+    def test_orthogonal_tags_need_nothing(self):
+        model = CouplingModel()
+        assert model.minimum_safe_spacing_m(Vec3.unit_x(), Vec3.unit_y()) == 0.0
+
+    def test_tolerance_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CouplingModel().minimum_safe_spacing_m(
+                Vec3.unit_x(), Vec3.unit_x(), tolerable_penalty_db=0.0
+            )
+
+    def test_looser_tolerance_smaller_spacing(self):
+        model = CouplingModel()
+        tight = model.minimum_safe_spacing_m(
+            Vec3.unit_x(), Vec3.unit_x(), tolerable_penalty_db=0.5
+        )
+        loose = model.minimum_safe_spacing_m(
+            Vec3.unit_x(), Vec3.unit_x(), tolerable_penalty_db=5.0
+        )
+        assert loose <= tight
+
+
+class TestGridPositions:
+    def test_count_and_spacing(self):
+        positions = grid_positions(4, 0.02)
+        assert len(positions) == 4
+        assert positions[1].distance_to(positions[0]) == pytest.approx(0.02)
+
+    def test_zero_spacing_stacks(self):
+        positions = grid_positions(3, 0.0)
+        assert positions[0].is_close(positions[2])
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            grid_positions(0, 0.01)
+
+    def test_negative_spacing(self):
+        with pytest.raises(ValueError):
+            grid_positions(2, -0.01)
+
+    def test_custom_direction_and_origin(self):
+        positions = grid_positions(
+            2, 0.1, direction=Vec3.unit_y(), origin=Vec3(1, 0, 0)
+        )
+        assert positions[0].is_close(Vec3(1, 0, 0))
+        assert positions[1].is_close(Vec3(1, 0.1, 0))

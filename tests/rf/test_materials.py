@@ -1,0 +1,97 @@
+"""Tests for material attenuation and detuning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.rf.materials import (
+    AIR,
+    BODY,
+    CARDBOARD,
+    LIQUID,
+    METAL,
+    Material,
+    material_by_name,
+)
+
+
+class TestThroughLoss:
+    def test_air_is_transparent(self):
+        assert AIR.through_loss_db(1.0) == 0.0
+
+    def test_metal_is_opaque(self):
+        # A centimetre of metal kills any UHF budget.
+        assert METAL.through_loss_db(0.01) >= 100.0
+
+    def test_cardboard_barely_registers(self):
+        assert CARDBOARD.through_loss_db(0.05) < 2.0
+
+    def test_body_thickness_scales(self):
+        assert BODY.through_loss_db(0.30) == pytest.approx(
+            2.0 * BODY.through_loss_db(0.15)
+        )
+
+    def test_negative_thickness_rejected(self):
+        with pytest.raises(ValueError):
+            LIQUID.through_loss_db(-0.01)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_loss_nonnegative(self, thickness):
+        for material in (AIR, METAL, LIQUID, CARDBOARD, BODY):
+            assert material.through_loss_db(thickness) >= 0.0
+
+
+class TestDetuning:
+    def test_contact_gives_full_penalty(self):
+        assert METAL.detuning_loss_db(0.0) == pytest.approx(
+            METAL.detuning_db_at_contact
+        )
+
+    def test_beyond_range_is_zero(self):
+        assert METAL.detuning_loss_db(METAL.detuning_range_m) == 0.0
+        assert METAL.detuning_loss_db(1.0) == 0.0
+
+    def test_halfway_is_half(self):
+        halfway = METAL.detuning_range_m / 2.0
+        assert METAL.detuning_loss_db(halfway) == pytest.approx(
+            METAL.detuning_db_at_contact / 2.0
+        )
+
+    def test_air_never_detunes(self):
+        assert AIR.detuning_loss_db(0.0) == 0.0
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            METAL.detuning_loss_db(-0.001)
+
+    @given(st.floats(min_value=0.0, max_value=0.5))
+    def test_detuning_monotone_decreasing(self, gap):
+        closer = METAL.detuning_loss_db(max(0.0, gap - 0.01))
+        here = METAL.detuning_loss_db(gap)
+        assert closer >= here
+
+
+class TestRegistry:
+    def test_lookup_known(self):
+        assert material_by_name("metal") is METAL
+        assert material_by_name("body") is BODY
+
+    def test_lookup_unknown_lists_names(self):
+        with pytest.raises(KeyError, match="cardboard"):
+            material_by_name("vibranium")
+
+    def test_material_ordering_reflects_physics(self):
+        # Metal blocks more than liquid, liquid more than body,
+        # body more than cardboard.
+        t = 0.05
+        assert (
+            METAL.through_loss_db(t)
+            > LIQUID.through_loss_db(t)
+            > BODY.through_loss_db(t)
+            > CARDBOARD.through_loss_db(t)
+            > AIR.through_loss_db(t)
+        )
+
+    def test_custom_material(self):
+        glass = Material(name="glass", attenuation_db_per_cm=1.5)
+        assert glass.through_loss_db(0.02) == pytest.approx(3.0)
+        assert glass.detuning_loss_db(0.0) == 0.0

@@ -1,0 +1,66 @@
+"""Tests for the receiver noise/sensitivity derivation."""
+
+import pytest
+
+from repro.rf.noise import (
+    ReceiverModel,
+    sensitivity_check,
+    thermal_noise_dbm,
+)
+
+
+class TestThermalNoise:
+    def test_1hz_reference(self):
+        # kT at 290 K is -174 dBm/Hz.
+        assert thermal_noise_dbm(1.0) == pytest.approx(-173.98, abs=0.05)
+
+    def test_bandwidth_scales_logarithmically(self):
+        narrow = thermal_noise_dbm(1e3)
+        wide = thermal_noise_dbm(1e6)
+        assert wide - narrow == pytest.approx(30.0, abs=0.01)
+
+    def test_hotter_is_noisier(self):
+        assert thermal_noise_dbm(1e6, 400.0) > thermal_noise_dbm(1e6, 290.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(0.0)
+        with pytest.raises(ValueError):
+            thermal_noise_dbm(1e6, 0.0)
+
+
+class TestReceiverModel:
+    def test_noise_floor_composition(self):
+        model = ReceiverModel(bandwidth_hz=250e3, noise_figure_db=35.0)
+        assert model.noise_floor_dbm == pytest.approx(
+            thermal_noise_dbm(250e3) + 35.0
+        )
+
+    def test_sensitivity_adds_snr(self):
+        model = ReceiverModel(required_snr_db=10.0)
+        assert model.sensitivity_dbm == pytest.approx(
+            model.noise_floor_dbm + 10.0
+        )
+
+    def test_default_near_calibrated_constant(self):
+        """The -75 dBm used by the link budget must be derivable:
+        kTB(-120) + effective NF(35, incl. TX-leakage desensitization)
+        + SNR(10) = -75 dBm."""
+        assert abs(sensitivity_check(-75.0)) <= 3.0
+
+    def test_decodable_threshold(self):
+        model = ReceiverModel()
+        assert model.decodable(model.sensitivity_dbm + 1.0)
+        assert not model.decodable(model.sensitivity_dbm - 1.0)
+
+    def test_snr(self):
+        model = ReceiverModel()
+        assert model.snr_db(model.noise_floor_dbm) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReceiverModel(bandwidth_hz=0.0)
+        with pytest.raises(ValueError):
+            ReceiverModel(noise_figure_db=-1.0)
+        with pytest.raises(ValueError):
+            ReceiverModel(required_snr_db=-1.0)

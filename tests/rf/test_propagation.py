@@ -1,0 +1,134 @@
+"""Tests for path loss, shadowing, and Rician fading models."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rf.propagation import (
+    RAYLEIGH,
+    ChannelModel,
+    PathLossModel,
+    RicianFading,
+    ShadowingModel,
+)
+from repro.sim.rng import RandomStream
+
+
+class TestPathLossModel:
+    def test_free_space_matches_friis(self):
+        model = PathLossModel(use_two_ray=False)
+        # At equal heights the direct distance equals the horizontal one.
+        gain = model.path_gain_db(3.0, tx_height_m=1.0, rx_height_m=1.0)
+        expected = 20.0 * math.log10(0.3276 / (4 * math.pi * 3.0))
+        assert gain == pytest.approx(expected, abs=0.1)
+
+    def test_two_ray_oscillates_around_friis(self):
+        friis = PathLossModel(use_two_ray=False)
+        two_ray = PathLossModel(use_two_ray=True, ground_reflection_coeff=-0.8)
+        diffs = [
+            two_ray.path_gain_db(d, 1.0, 1.0) - friis.path_gain_db(d, 1.0, 1.0)
+            for d in [round(1.0 + 0.25 * i, 3) for i in range(30)]
+        ]
+        assert max(diffs) > 1.0  # constructive spots
+        assert min(diffs) < -1.0  # destructive spots
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            PathLossModel().path_gain_db(-1.0)
+
+    def test_exponent_adds_excess_loss(self):
+        base = PathLossModel(use_two_ray=False, path_loss_exponent=2.0)
+        lossy = PathLossModel(use_two_ray=False, path_loss_exponent=2.5)
+        d = 10.0
+        diff = base.path_gain_db(d, 1.0, 1.0) - lossy.path_gain_db(d, 1.0, 1.0)
+        assert diff == pytest.approx(5.0, abs=0.1)  # 10*(0.5)*log10(10)
+
+    def test_exponent_no_excess_below_reference(self):
+        base = PathLossModel(use_two_ray=False, path_loss_exponent=2.0)
+        lossy = PathLossModel(use_two_ray=False, path_loss_exponent=2.8)
+        assert base.path_gain_db(0.5, 1.0, 1.0) == pytest.approx(
+            lossy.path_gain_db(0.5, 1.0, 1.0)
+        )
+
+    @given(st.floats(min_value=0.5, max_value=30.0))
+    def test_gain_is_negative_beyond_half_metre(self, d):
+        gain = PathLossModel().path_gain_db(d, 1.0, 1.0)
+        assert gain < 0.0
+
+    def test_height_difference_increases_path(self):
+        model = PathLossModel(use_two_ray=False)
+        level = model.path_gain_db(5.0, 1.0, 1.0)
+        offset = model.path_gain_db(5.0, 1.0, 3.0)
+        assert offset < level
+
+
+class TestShadowing:
+    def test_zero_sigma_returns_zero(self):
+        rng = RandomStream(1)
+        assert ShadowingModel(sigma_db=0.0).sample_db(rng) == 0.0
+
+    def test_samples_have_requested_spread(self):
+        rng = RandomStream(7)
+        model = ShadowingModel(sigma_db=3.0)
+        samples = [model.sample_db(rng) for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        var = sum((s - mean) ** 2 for s in samples) / len(samples)
+        assert mean == pytest.approx(0.0, abs=0.2)
+        assert math.sqrt(var) == pytest.approx(3.0, abs=0.2)
+
+
+class TestRicianFading:
+    def test_unit_mean_power(self):
+        rng = RandomStream(11)
+        fading = RicianFading(k_factor_db=7.0)
+        samples = [fading.sample_power_gain(rng) for _ in range(8000)]
+        assert sum(samples) / len(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_high_k_concentrates_near_one(self):
+        rng = RandomStream(13)
+        fading = RicianFading(k_factor_db=25.0)
+        samples = [fading.sample_power_gain(rng) for _ in range(1000)]
+        assert all(0.5 < s < 2.0 for s in samples)
+
+    def test_rayleigh_has_deep_fades(self):
+        rng = RandomStream(17)
+        samples = [RAYLEIGH.sample_power_gain(rng) for _ in range(2000)]
+        deep = sum(1 for s in samples if s < 0.1)
+        # Rayleigh: P(power < 0.1) = 1 - exp(-0.1) ~ 9.5%.
+        assert deep > 100
+
+    def test_degraded_lowers_k(self):
+        fading = RicianFading(k_factor_db=7.0)
+        assert fading.degraded(5.0).k_factor_db == pytest.approx(2.0)
+
+    def test_samples_nonnegative(self):
+        rng = RandomStream(19)
+        fading = RicianFading(k_factor_db=0.0)
+        assert all(
+            fading.sample_power_gain(rng) >= 0.0 for _ in range(1000)
+        )
+
+    def test_lower_k_increases_variance(self):
+        rng_hi = RandomStream(23)
+        rng_lo = RandomStream(23)
+        hi = [
+            RicianFading(15.0).sample_power_gain(rng_hi) for _ in range(4000)
+        ]
+        lo = [
+            RicianFading(0.0).sample_power_gain(rng_lo) for _ in range(4000)
+        ]
+
+        def var(xs):
+            m = sum(xs) / len(xs)
+            return sum((x - m) ** 2 for x in xs) / len(xs)
+
+        assert var(lo) > 2.0 * var(hi)
+
+
+class TestChannelModel:
+    def test_large_scale_combines_shadowing(self):
+        channel = ChannelModel(path_loss=PathLossModel(use_two_ray=False))
+        base = channel.large_scale_gain_db(3.0, 1.0, 1.0, shadowing_db=0.0)
+        shadowed = channel.large_scale_gain_db(3.0, 1.0, 1.0, shadowing_db=-4.0)
+        assert shadowed == pytest.approx(base - 4.0)

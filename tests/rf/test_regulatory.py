@@ -1,0 +1,108 @@
+"""Tests for channel plans and hop-collision statistics."""
+
+import pytest
+
+from repro.rf.regulatory import (
+    ETSI_PLAN,
+    FCC_PLAN,
+    ChannelPlan,
+    collision_probability,
+    count_collisions,
+    expected_interference_duty_cycle,
+)
+from repro.sim.rng import RandomStream
+
+
+class TestChannelPlan:
+    def test_fcc_shape(self):
+        assert FCC_PLAN.channel_count == 50
+        assert FCC_PLAN.frequency_hz(0) == pytest.approx(902.75e6)
+        assert FCC_PLAN.frequency_hz(49) == pytest.approx(927.25e6)
+
+    def test_etsi_shape(self):
+        assert ETSI_PLAN.channel_count == 4
+        assert 865e6 < ETSI_PLAN.frequency_hz(0) < 868e6
+
+    def test_channel_out_of_range(self):
+        with pytest.raises(ValueError):
+            FCC_PLAN.frequency_hz(50)
+        with pytest.raises(ValueError):
+            FCC_PLAN.frequency_hz(-1)
+
+    def test_invalid_plan(self):
+        with pytest.raises(ValueError):
+            ChannelPlan("x", 900e6, 0, 500e3, 0.4)
+        with pytest.raises(ValueError):
+            ChannelPlan("x", 900e6, 4, 500e3, 0.0)
+
+
+class TestHopSequence:
+    def test_length(self):
+        seq = FCC_PLAN.hop_sequence(RandomStream(1), 120)
+        assert len(seq) == 120
+
+    def test_channels_in_range(self):
+        seq = FCC_PLAN.hop_sequence(RandomStream(2), 200)
+        assert all(0 <= c < 50 for c in seq)
+
+    def test_each_cycle_uses_every_channel_once(self):
+        seq = FCC_PLAN.hop_sequence(RandomStream(3), 100)
+        assert sorted(seq[:50]) == list(range(50))
+        assert sorted(seq[50:100]) == list(range(50))
+
+    def test_deterministic_per_seed(self):
+        a = FCC_PLAN.hop_sequence(RandomStream(7), 50)
+        b = FCC_PLAN.hop_sequence(RandomStream(7), 50)
+        assert a == b
+
+    def test_zero_hops(self):
+        assert FCC_PLAN.hop_sequence(RandomStream(1), 0) == []
+
+    def test_negative_hops_rejected(self):
+        with pytest.raises(ValueError):
+            FCC_PLAN.hop_sequence(RandomStream(1), -1)
+
+
+class TestCollisionProbability:
+    def test_fcc_adjacent_window(self):
+        # 3-channel window over 50 channels: 6%.
+        assert collision_probability(FCC_PLAN, 1) == pytest.approx(0.06)
+
+    def test_etsi_much_worse(self):
+        # 4 channels only: collisions are near-certain with adjacency.
+        assert collision_probability(ETSI_PLAN, 1) == pytest.approx(0.75)
+
+    def test_co_channel_only(self):
+        assert collision_probability(FCC_PLAN, 0) == pytest.approx(0.02)
+
+    def test_capped_at_one(self):
+        assert collision_probability(ETSI_PLAN, 10) == 1.0
+
+    def test_negative_adjacent_rejected(self):
+        with pytest.raises(ValueError):
+            collision_probability(FCC_PLAN, -1)
+
+    def test_monte_carlo_agrees(self):
+        """Simulated independent hop sequences collide at ~ the
+        analytical rate."""
+        rng_a = RandomStream(11)
+        rng_b = RandomStream(22)
+        hops = 5000
+        seq_a = FCC_PLAN.hop_sequence(rng_a, hops)
+        seq_b = FCC_PLAN.hop_sequence(rng_b, hops)
+        observed = count_collisions(seq_a, seq_b, adjacent_counts=1) / hops
+        expected = collision_probability(FCC_PLAN, 1)
+        assert abs(observed - expected) < 0.02
+
+    def test_duty_cycle_matches_probability(self):
+        assert expected_interference_duty_cycle(
+            FCC_PLAN, 4.0
+        ) == collision_probability(FCC_PLAN, 1)
+
+    def test_duty_cycle_invalid_duration(self):
+        with pytest.raises(ValueError):
+            expected_interference_duty_cycle(FCC_PLAN, 0.0)
+
+    def test_count_collisions_length_mismatch(self):
+        with pytest.raises(ValueError):
+            count_collisions([1, 2], [1])

@@ -1,0 +1,137 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(2.0, lambda: fired.append("b"))
+        engine.schedule_at(1.0, lambda: fired.append("a"))
+        engine.schedule_at(3.0, lambda: fired.append("c"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_simultaneous_events_fire_in_insertion_order(self):
+        engine = Engine()
+        fired = []
+        for name in "abcde":
+            engine.schedule_at(1.0, lambda n=name: fired.append(n))
+        engine.run()
+        assert fired == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        engine = Engine()
+        seen = []
+        engine.schedule_at(5.0, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [5.0]
+        assert engine.now == 5.0
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine(start_time=10.0)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(5.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = Engine(start_time=1.0)
+        seen = []
+        engine.schedule_after(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [3.5]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                engine.schedule_after(1.0, lambda: chain(n + 1))
+
+        engine.schedule_at(0.0, lambda: chain(0))
+        engine.run()
+        assert fired == [0, 1, 2, 3]
+        assert engine.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        event = engine.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        engine.run()
+        assert fired == []
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        engine = Engine()
+        event = engine.schedule_at(9.0, lambda: None)
+        event.cancel()
+        engine.run()
+        assert engine.now == 0.0
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(5.0, lambda: fired.append(5))
+        engine.run(until=3.0)
+        assert fired == [1]
+        assert engine.now == 3.0
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_run_until_advances_idle_clock(self):
+        engine = Engine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events(self):
+        engine = Engine()
+        fired = []
+        for i in range(10):
+            engine.schedule_at(float(i), lambda i=i: fired.append(i))
+        engine.run(max_events=4)
+        assert fired == [0, 1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Engine().step()
+
+    def test_step_fires_one(self):
+        engine = Engine()
+        fired = []
+        engine.schedule_at(1.0, lambda: fired.append(1))
+        engine.schedule_at(2.0, lambda: fired.append(2))
+        assert engine.step()
+        assert fired == [1]
+
+    def test_processed_and_pending_counts(self):
+        engine = Engine()
+        engine.schedule_at(1.0, lambda: None)
+        engine.schedule_at(2.0, lambda: None)
+        assert engine.pending_events == 2
+        engine.run()
+        assert engine.processed_events == 2
+        assert engine.pending_events == 0
+
+
+class TestAdvance:
+    def test_advance_to(self):
+        engine = Engine()
+        engine.advance_to(4.0)
+        assert engine.now == 4.0
+
+    def test_advance_backwards_rejected(self):
+        engine = Engine(start_time=3.0)
+        with pytest.raises(SimulationError):
+            engine.advance_to(1.0)

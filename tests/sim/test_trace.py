@@ -1,0 +1,111 @@
+"""Tests for read traces and event types."""
+
+import pytest
+
+from repro.sim.events import SlotOutcome, TagReadEvent
+from repro.sim.trace import ReadTrace
+
+
+def _event(t, epc="E" * 24, reader="r0", antenna="a0", rssi=-60.0):
+    return TagReadEvent(t, epc, reader, antenna, rssi)
+
+
+class TestSlotOutcome:
+    def test_empty(self):
+        assert SlotOutcome(0.0, 0, 0).kind == "empty"
+
+    def test_success(self):
+        assert SlotOutcome(0.0, 0, 1, epc="x").kind == "success"
+
+    def test_collision(self):
+        assert SlotOutcome(0.0, 0, 3).kind == "collision"
+
+    def test_garbled_single_counts_as_collision(self):
+        # One responder but no decoded EPC: looks like a collision.
+        assert SlotOutcome(0.0, 0, 1, epc=None).kind == "collision"
+
+
+class TestTagReadEvent:
+    def test_key(self):
+        event = _event(1.0)
+        assert event.key() == ("E" * 24, "r0", "a0")
+
+
+class TestReadTrace:
+    def test_record_and_len(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0))
+        trace.record(_event(2.0))
+        assert len(trace) == 2
+        assert not trace.is_empty
+
+    def test_rejects_time_reversal(self):
+        trace = ReadTrace()
+        trace.record(_event(5.0))
+        with pytest.raises(ValueError):
+            trace.record(_event(1.0))
+
+    def test_epcs_seen(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, epc="A" * 24))
+        trace.record(_event(2.0, epc="B" * 24))
+        trace.record(_event(3.0, epc="A" * 24))
+        assert trace.epcs_seen() == frozenset({"A" * 24, "B" * 24})
+
+    def test_was_read(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, epc="A" * 24))
+        assert trace.was_read("A" * 24)
+        assert not trace.was_read("B" * 24)
+
+    def test_reads_of(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, epc="A" * 24))
+        trace.record(_event(2.0, epc="B" * 24))
+        trace.record(_event(3.0, epc="A" * 24))
+        assert [e.time for e in trace.reads_of("A" * 24)] == [1.0, 3.0]
+
+    def test_by_antenna(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, antenna="a0"))
+        trace.record(_event(2.0, antenna="a1"))
+        groups = trace.by_antenna()
+        assert set(groups) == {("r0", "a0"), ("r0", "a1")}
+
+    def test_read_counts(self):
+        trace = ReadTrace()
+        for t in (1.0, 2.0, 3.0):
+            trace.record(_event(t, epc="A" * 24))
+        assert trace.read_counts() == {"A" * 24: 3}
+
+    def test_first_read_time(self):
+        trace = ReadTrace()
+        trace.record(_event(1.5, epc="A" * 24))
+        trace.record(_event(2.5, epc="A" * 24))
+        assert trace.first_read_time("A" * 24) == 1.5
+        assert trace.first_read_time("B" * 24) is None
+
+    def test_window(self):
+        trace = ReadTrace()
+        for t in (0.5, 1.5, 2.5, 3.5):
+            trace.record(_event(t))
+        sub = trace.window(1.0, 3.0)
+        assert [e.time for e in sub] == [1.5, 2.5]
+
+    def test_window_invalid(self):
+        with pytest.raises(ValueError):
+            ReadTrace().window(3.0, 1.0)
+
+    def test_merged_with_sorts(self):
+        a = ReadTrace()
+        a.record(_event(1.0, reader="r0"))
+        a.record(_event(3.0, reader="r0"))
+        b = ReadTrace()
+        b.record(_event(2.0, reader="r1"))
+        merged = a.merged_with(b)
+        assert [e.time for e in merged] == [1.0, 2.0, 3.0]
+
+    def test_iteration(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0))
+        assert [e.time for e in trace] == [1.0]

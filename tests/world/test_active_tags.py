@@ -1,0 +1,122 @@
+"""Tests for the active-tag extension."""
+
+import pytest
+
+from repro.core.calibration import PaperSetup
+from repro.protocol.epc import EpcFactory
+from repro.rf.geometry import Vec3
+from repro.sim.rng import SeedSequence
+from repro.world.active_tags import ActiveTagModel, ActiveTagSimulator
+from repro.world.motion import StationaryPlacement
+from repro.world.portal import single_antenna_portal
+from repro.world.simulation import CarrierGroup, PortalPassSimulator
+from repro.world.tags import Tag
+
+SETUP = PaperSetup()
+
+
+def _passive_sim():
+    return PortalPassSimulator(
+        portal=single_antenna_portal(), env=SETUP.env, params=SETUP.params
+    )
+
+
+def _carrier(distance, duration=2.0):
+    return CarrierGroup(
+        motion=StationaryPlacement(Vec3(0, 0, distance), duration_s=duration),
+        tags=[
+            Tag(
+                epc=EpcFactory().next_epc().to_hex(),
+                local_position=Vec3(0.0, 1.0, 0.0),
+            )
+        ],
+    )
+
+
+class TestActiveTagModel:
+    def test_defaults_valid(self):
+        model = ActiveTagModel()
+        assert model.beacons_per_day > 0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            ActiveTagModel(beacon_interval_s=0.0)
+
+    def test_battery_life_positive(self):
+        assert ActiveTagModel().battery_life_days() > 30.0
+
+    def test_faster_beaconing_shorter_life(self):
+        fast = ActiveTagModel(beacon_interval_s=0.1)
+        slow = ActiveTagModel(beacon_interval_s=5.0)
+        assert fast.battery_life_days() < slow.battery_life_days()
+
+    def test_bigger_battery_longer_life(self):
+        small = ActiveTagModel(battery_mah=100.0)
+        big = ActiveTagModel(battery_mah=1000.0)
+        assert big.battery_life_days() > small.battery_life_days()
+
+
+class TestActiveSimulation:
+    def test_reads_at_long_range(self):
+        """Active tags reach distances where passive tags are dead —
+        the core of the paper's future-work motivation."""
+        sim = ActiveTagSimulator(_passive_sim())
+        carrier = _carrier(distance=15.0)
+        result = sim.run_pass([carrier], SeedSequence(1), 0)
+        assert result.read_epcs  # a passive tag at 15 m reads nothing
+
+    def test_passive_dead_at_same_range(self):
+        carrier = _carrier(distance=15.0, duration=0.5)
+        result = _passive_sim().run_pass([carrier], SeedSequence(1), 0)
+        assert not result.read_epcs
+
+    def test_beacon_cadence(self):
+        model = ActiveTagModel(beacon_interval_s=0.5)
+        sim = ActiveTagSimulator(_passive_sim(), model)
+        carrier = _carrier(distance=2.0, duration=3.0)
+        result = sim.run_pass([carrier], SeedSequence(2), 0)
+        # ~6 beacons in 3 s; all should be heard at 2 m.
+        assert 4 <= len(result.trace) <= 7
+        times = [e.time for e in result.trace]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(abs(g - 0.5) < 1e-6 for g in gaps)
+
+    def test_deterministic(self):
+        sim = ActiveTagSimulator(_passive_sim())
+        carrier = _carrier(distance=5.0)
+        a = sim.run_pass([carrier], SeedSequence(3), 1)
+        b = sim.run_pass([carrier], SeedSequence(3), 1)
+        assert [e.time for e in a.trace] == [e.time for e in b.trace]
+
+    def test_no_tags_rejected(self):
+        sim = ActiveTagSimulator(_passive_sim())
+        carrier = CarrierGroup(
+            motion=StationaryPlacement(Vec3(0, 0, 1), duration_s=1.0)
+        )
+        with pytest.raises(ValueError):
+            sim.run_pass([carrier], SeedSequence(1), 0)
+
+    def test_rssi_reported(self):
+        sim = ActiveTagSimulator(_passive_sim())
+        carrier = _carrier(distance=2.0)
+        result = sim.run_pass([carrier], SeedSequence(4), 0)
+        for event in result.trace:
+            assert -95.0 <= event.rssi_dbm <= 10.0
+
+    def test_weaker_tx_reduces_range(self):
+        # At 60 m the one-way budget sits near the -95 dBm sensitivity:
+        # a -40 dBm whisper drops out while +10 dBm still carries.
+        weak = ActiveTagSimulator(
+            _passive_sim(), ActiveTagModel(tx_power_dbm=-40.0)
+        )
+        strong = ActiveTagSimulator(
+            _passive_sim(), ActiveTagModel(tx_power_dbm=10.0)
+        )
+        carrier = _carrier(distance=60.0, duration=2.0)
+        weak_reads = len(
+            weak.run_pass([carrier], SeedSequence(5), 0).trace
+        )
+        strong_reads = len(
+            strong.run_pass([carrier], SeedSequence(5), 0).trace
+        )
+        assert strong_reads > weak_reads

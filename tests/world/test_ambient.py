@@ -1,0 +1,119 @@
+"""Tests for ambient tag zones and false-positive classification."""
+
+import pytest
+
+from repro.core.calibration import PaperSetup
+from repro.protocol.epc import EpcFactory
+from repro.rf.geometry import Vec3
+from repro.sim.events import TagReadEvent
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import ReadTrace
+from repro.world.ambient import (
+    AmbientZone,
+    FalsePositiveReport,
+    build_ambient_carrier,
+    classify_reads,
+)
+from repro.world.portal import single_antenna_portal
+from repro.world.simulation import PortalPassSimulator
+
+
+class TestAmbientZone:
+    def test_valid(self):
+        zone = AmbientZone("staging", Vec3(5, 0, 2), 2.0, 3.0, tag_count=9)
+        assert zone.tag_count == 9
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            AmbientZone("x", Vec3.zero(), 1.0, 1.0, tag_count=-1)
+
+    def test_invalid_extent(self):
+        with pytest.raises(ValueError):
+            AmbientZone("x", Vec3.zero(), 0.0, 1.0, tag_count=1)
+
+
+class TestBuildCarrier:
+    def test_tag_count(self):
+        zone = AmbientZone("staging", Vec3(4, 0, 0), 2.0, 2.0, tag_count=7)
+        carrier, epcs = build_ambient_carrier(zone, EpcFactory(), 1.0)
+        assert len(carrier.tags) == 7
+        assert len(epcs) == 7
+
+    def test_tags_within_zone(self):
+        zone = AmbientZone("staging", Vec3(4, 0, 0), 2.0, 3.0, tag_count=16)
+        carrier, _ = build_ambient_carrier(zone, EpcFactory(), 1.0)
+        for tag in carrier.tags:
+            assert abs(tag.local_position.x) <= 1.0 + 1e-9
+            assert abs(tag.local_position.z) <= 1.5 + 1e-9
+
+    def test_zero_tags(self):
+        zone = AmbientZone("empty", Vec3(4, 0, 0), 1.0, 1.0, tag_count=0)
+        carrier, epcs = build_ambient_carrier(zone, EpcFactory(), 1.0)
+        assert carrier.tags == []
+        assert epcs == []
+
+    def test_stationary(self):
+        zone = AmbientZone("staging", Vec3(4, 0, 2), 1.0, 1.0, tag_count=1)
+        carrier, _ = build_ambient_carrier(zone, EpcFactory(), 2.0)
+        assert carrier.motion.position_at(0.0).is_close(
+            carrier.motion.position_at(1.5)
+        )
+
+
+class TestClassification:
+    def _trace(self, epcs):
+        trace = ReadTrace()
+        for i, epc in enumerate(epcs):
+            trace.record(
+                TagReadEvent(float(i), epc, "r0", "a0", rssi_dbm=-60.0)
+            )
+        return trace
+
+    def test_all_intended(self):
+        epcs = [e.to_hex() for e in EpcFactory().batch(3)]
+        report = classify_reads(self._trace(epcs), epcs)
+        assert report.intended_reads == 3
+        assert report.stray_reads == 0
+        assert report.false_positive_rate == 0.0
+
+    def test_strays_flagged(self):
+        intended = [e.to_hex() for e in EpcFactory().batch(2)]
+        strays = [e.to_hex() for e in EpcFactory(company_prefix=123).batch(2)]
+        report = classify_reads(self._trace(intended + strays), intended)
+        assert report.stray_reads == 2
+        assert report.false_positive_rate == pytest.approx(0.5)
+        assert set(report.stray_epcs) == set(strays)
+
+    def test_empty_trace(self):
+        report = classify_reads(self._trace([]), ["3" + "0" * 23])
+        assert report.false_positive_rate == 0.0
+
+
+class TestFalsePositivePhysics:
+    def test_power_reduction_removes_strays(self):
+        """The paper's remedy: 'decreasing the power output of the
+        readers' eliminates reads from outside the intended zone."""
+        setup = PaperSetup()
+        zone = AmbientZone(
+            "next-lane", Vec3(0.0, 0.0, 4.5), 1.0, 1.0, tag_count=4
+        )
+        carrier, stray_epcs = build_ambient_carrier(
+            zone, EpcFactory(company_prefix=999), duration_s=0.5
+        )
+
+        def stray_hits(tx_power_dbm):
+            sim = PortalPassSimulator(
+                portal=single_antenna_portal(tx_power_dbm=tx_power_dbm),
+                env=setup.env,
+                params=setup.params,
+            )
+            hits = 0
+            for trial in range(10):
+                result = sim.run_pass([carrier], SeedSequence(31), trial)
+                hits += len(result.read_epcs)
+            return hits
+
+        full_power = stray_hits(30.0)
+        reduced = stray_hits(20.0)
+        assert reduced < full_power
+        assert reduced <= 2  # -10 dB conducted kills the 4.5 m strays

@@ -1,0 +1,132 @@
+"""Tests for the materials study and the read-zone mapper."""
+
+import pytest
+
+from repro.analysis.figures import heatmap
+from repro.world.portal import single_antenna_portal
+from repro.world.read_zone import ReadZoneMap, map_read_zone
+from repro.world.scenarios.materials_study import (
+    MATERIAL_CASES,
+    build_material_cart,
+    run_materials_study,
+)
+
+pytestmark = pytest.mark.slow
+
+
+class TestMaterialCart:
+    def test_cases_defined(self):
+        assert set(MATERIAL_CASES) == {"empty", "cardboard", "liquid", "metal"}
+
+    def test_empty_has_no_occluders(self):
+        carrier, epcs = build_material_cart("empty")
+        assert carrier.occluders == []
+        assert len(epcs) == 12
+
+    def test_filled_has_occluders(self):
+        carrier, _ = build_material_cart("metal")
+        assert len(carrier.occluders) == 12
+        assert carrier.occluders[0].material.name == "metal"
+
+    def test_unknown_case(self):
+        with pytest.raises(ValueError, match="liquid"):
+            build_material_cart("plasma")
+
+
+class TestMaterialsStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_materials_study(repetitions=5)
+
+    def test_all_cases_measured(self, study):
+        assert set(study.rates) == set(MATERIAL_CASES)
+
+    def test_physics_ordering(self, study):
+        """Empty/cardboard read best; metal is the hardest content —
+        the Section 2.1 material ranking."""
+        rates = {name: est.rate for name, est in study.rates.items()}
+        assert rates["empty"] >= rates["metal"]
+        assert rates["cardboard"] >= rates["metal"] - 0.02
+        assert rates["liquid"] >= rates["metal"] - 0.10
+
+    def test_empty_is_easy(self, study):
+        assert study.rates["empty"].rate >= 0.85
+
+    def test_ordered_helper(self, study):
+        ordered = study.ordered()
+        values = [rate for _, rate in ordered]
+        assert values == sorted(values, reverse=True)
+
+
+class TestReadZone:
+    @pytest.fixture(scope="class")
+    def zone(self):
+        return map_read_zone(
+            single_antenna_portal(),
+            x_range=(-2.0, 2.0),
+            z_range=(0.5, 9.0),
+            steps=6,
+            trials=4,
+        )
+
+    def test_grid_shape(self, zone):
+        assert len(zone.x_values) == 6
+        assert len(zone.z_values) == 6
+        assert len(zone.probabilities) == 6
+        assert all(len(row) == 6 for row in zone.probabilities)
+
+    def test_close_boresight_reliable(self, zone):
+        # Nearest row, centre columns: the heart of the read zone.
+        centre = zone.probabilities[0][2]
+        assert centre >= 0.75
+
+    def test_far_cells_unreliable(self, zone):
+        far_row = zone.probabilities[-1]
+        assert max(far_row) <= 0.75
+
+    def test_reliable_range_matches_link_budget(self, zone):
+        rng = zone.max_reliable_range_m(threshold=0.9)
+        assert 0.5 <= rng <= 7.0
+
+    def test_covered_cells_counts(self, zone):
+        strict = zone.covered_cells(threshold=0.99)
+        loose = zone.covered_cells(threshold=0.25)
+        assert strict <= loose
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            map_read_zone(single_antenna_portal(), steps=1)
+        with pytest.raises(ValueError):
+            map_read_zone(single_antenna_portal(), trials=0)
+
+    def test_heatmap_renders(self, zone):
+        art = heatmap(
+            "read zone",
+            zone.probabilities,
+            row_labels=[f"{z:.1f}m" for z in zone.z_values],
+            col_labels=[f"{x:.0f}" for x in zone.x_values],
+        )
+        assert "read zone" in art
+        assert "legend" in art
+
+
+class TestHeatmapUnit:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap("x", [])
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap("x", [[0.1, 0.2], [0.3]])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap("x", [[1.5]])
+
+    def test_label_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            heatmap("x", [[0.5]], row_labels=["a", "b"])
+
+    def test_shading_scales(self):
+        art = heatmap("x", [[0.0, 1.0]])
+        assert "  " in art and "##" in art

@@ -1,0 +1,171 @@
+"""Tests for tagged boxes and human subjects."""
+
+import pytest
+
+from repro.rf.geometry import Vec3
+from repro.rf.materials import CARDBOARD, METAL
+from repro.world.humans import (
+    Human,
+    HumanTagPlacement,
+    two_abreast,
+)
+from repro.world.objects import (
+    BoxContent,
+    BoxFace,
+    TaggedBox,
+    cart_of_boxes,
+)
+from repro.world.tags import TagOrientation
+
+
+def _epc(i=0):
+    return f"30{i:022X}"
+
+
+class TestTaggedBox:
+    def test_face_centres_on_surface(self):
+        box = TaggedBox("b", size=Vec3(0.4, 0.3, 0.2))
+        front = box.face_centre(BoxFace.FRONT)
+        assert front.x == pytest.approx(0.2)
+        top = box.face_centre(BoxFace.TOP)
+        assert top.y == pytest.approx(0.15)
+
+    def test_face_centre_offset_by_position(self):
+        box = TaggedBox("b", local_position=Vec3(1, 2, 3))
+        front = box.face_centre(BoxFace.FRONT)
+        assert front.y == pytest.approx(2.0)
+        assert front.z == pytest.approx(3.0)
+
+    def test_gap_to_content(self):
+        box = TaggedBox(
+            "b",
+            size=Vec3(0.4, 0.3, 0.4),
+            content=BoxContent(radius_m=0.12),
+        )
+        # Top face is 0.15 from centre; sphere surface at 0.12.
+        assert box.gap_to_content_m(BoxFace.TOP) == pytest.approx(0.03)
+        # Front face is 0.20 away.
+        assert box.gap_to_content_m(BoxFace.FRONT) == pytest.approx(0.08)
+
+    def test_empty_box_infinite_gap(self):
+        box = TaggedBox("b", content=None)
+        assert box.gap_to_content_m(BoxFace.TOP) == float("inf")
+
+    def test_attach_tag_derives_mount(self):
+        box = TaggedBox("b")
+        tag = box.attach_tag(_epc(), BoxFace.TOP)
+        assert tag.mount_material is METAL
+        assert tag.mount_gap_m < 0.05
+        assert box.all_tags() == [tag]
+
+    def test_attach_tag_empty_box_uses_shell(self):
+        box = TaggedBox("b", content=None)
+        tag = box.attach_tag(_epc(), BoxFace.FRONT)
+        assert tag.mount_material is CARDBOARD
+
+    def test_top_tag_detunes_more_than_front(self):
+        """The physical root of Table 1's 'top is worst' finding."""
+        box = TaggedBox("b")
+        top = box.attach_tag(_epc(0), BoxFace.TOP)
+        front = box.attach_tag(_epc(1), BoxFace.FRONT)
+        assert top.detuning_db() > front.detuning_db()
+
+    def test_orientation_override(self):
+        box = TaggedBox("b")
+        tag = box.attach_tag(
+            _epc(), BoxFace.FRONT, orientation=TagOrientation.CASE_3_VERTICAL_FACING
+        )
+        assert tag.orientation is TagOrientation.CASE_3_VERTICAL_FACING
+
+    def test_side_closer_faces_antenna(self):
+        box = TaggedBox("b")
+        normal = box.face_normal(BoxFace.SIDE_CLOSER)
+        assert normal.z < 0  # antenna is at -z
+
+    def test_invalid_content_radius(self):
+        with pytest.raises(ValueError):
+            BoxContent(radius_m=-0.1)
+
+
+class TestCart:
+    def test_twelve_boxes_default(self):
+        boxes = cart_of_boxes()
+        assert len(boxes) == 12
+        assert len({b.box_id for b in boxes}) == 12
+
+    def test_grid_shape(self):
+        boxes = cart_of_boxes()
+        xs = {round(b.local_position.x, 3) for b in boxes}
+        ys = {round(b.local_position.y, 3) for b in boxes}
+        zs = {round(b.local_position.z, 3) for b in boxes}
+        assert len(xs) == 3  # rows along the movement axis
+        assert len(ys) == 2  # two layers
+        assert len(zs) == 2  # two columns across the lane
+
+    def test_boxes_above_deck(self):
+        for box in cart_of_boxes():
+            assert box.local_position.y > 0.4
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            cart_of_boxes(box_count=20, rows=2, columns=2, layers=2)
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            cart_of_boxes(box_count=0)
+
+    def test_partial_cart(self):
+        assert len(cart_of_boxes(box_count=5)) == 5
+
+
+class TestHuman:
+    def test_torso_at_waist(self):
+        human = Human("p")
+        assert human.torso_centre().y == pytest.approx(1.0)
+
+    def test_attach_all_placements(self):
+        human = Human("p")
+        for i, placement in enumerate(HumanTagPlacement.ALL):
+            human.attach_tag(_epc(i), placement)
+        assert len(human.tags) == 4
+
+    def test_unknown_placement(self):
+        with pytest.raises(ValueError, match="side_farther"):
+            Human("p").attach_tag(_epc(), "hat")
+
+    def test_placement_lookup(self):
+        human = Human("p")
+        tag = human.attach_tag(_epc(), HumanTagPlacement.FRONT)
+        assert human.placement_of(tag.epc) == "front"
+        assert human.placement_of("unknown") is None
+
+    def test_side_closer_toward_antenna(self):
+        human = Human("p")
+        tag = human.attach_tag(_epc(), HumanTagPlacement.SIDE_CLOSER)
+        assert tag.local_position.z < 0
+
+    def test_side_farther_behind_body(self):
+        human = Human("p")
+        tag = human.attach_tag(_epc(), HumanTagPlacement.SIDE_FARTHER)
+        assert tag.local_position.z > human.torso_radius_m
+
+    def test_tags_do_not_touch_body(self):
+        # "tags should not touch the body" — mount gap is positive.
+        human = Human("p")
+        tag = human.attach_tag(_epc(), HumanTagPlacement.FRONT)
+        assert tag.mount_gap_m > 0.0
+
+
+class TestTwoAbreast:
+    def test_closer_and_farther(self):
+        closer, farther = two_abreast()
+        assert closer.local_position.z < farther.local_position.z
+
+    def test_shoulder_gap(self):
+        closer, farther = two_abreast(shoulder_gap_m=0.6)
+        gap = farther.local_position.z - closer.local_position.z
+        assert gap == pytest.approx(0.6)
+
+    def test_invalid_gap(self):
+        with pytest.raises(ValueError):
+            two_abreast(shoulder_gap_m=0.0)

@@ -1,0 +1,32 @@
+"""Tests for the reader-redundancy scenario (reduced repetitions)."""
+
+import pytest
+
+from repro.world.scenarios.reader_redundancy import (
+    ReaderRedundancyResult,
+    run_reader_redundancy_experiment,
+)
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def result() -> ReaderRedundancyResult:
+    return run_reader_redundancy_experiment(repetitions=12)
+
+
+class TestReaderRedundancy:
+    def test_non_drm_pair_is_worse(self, result):
+        """The paper's headline negative result."""
+        assert result.dual_no_drm.rate < result.single_reader.rate
+
+    def test_penalty_is_severe(self, result):
+        assert result.interference_penalty >= 0.10
+
+    def test_drm_recovers(self, result):
+        assert result.drm_recovery > 0.0
+        assert result.dual_with_drm.rate >= result.single_reader.rate - 0.15
+
+    def test_estimates_carry_trial_counts(self, result):
+        assert result.single_reader.trials == 12
+        assert result.dual_no_drm.trials == 12

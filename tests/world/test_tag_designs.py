@@ -1,0 +1,109 @@
+"""Tests for the alternative tag-design catalog."""
+
+import pytest
+
+from repro.rf.geometry import Vec3
+from repro.rf.materials import AIR, METAL
+from repro.world.tag_designs import (
+    DESIGNS,
+    TagDesign,
+    characteristics,
+    design_detuning_db,
+    design_gain_dbi,
+    expected_read_reliability,
+    worst_case_pattern_loss_db,
+)
+
+
+class TestCatalog:
+    def test_all_designs_present(self):
+        assert set(DESIGNS) == set(TagDesign)
+
+    def test_lookup(self):
+        spec = characteristics(TagDesign.SINGLE_DIPOLE)
+        assert spec.peak_gain_dbi == pytest.approx(2.15)
+
+    def test_single_dipole_is_cheapest(self):
+        costs = {d: s.unit_cost_usd for d, s in DESIGNS.items()}
+        assert min(costs, key=costs.get) is TagDesign.SINGLE_DIPOLE
+
+    def test_metal_mount_is_premium(self):
+        assert (
+            DESIGNS[TagDesign.METAL_MOUNT].unit_cost_usd
+            > 5 * DESIGNS[TagDesign.SINGLE_DIPOLE].unit_cost_usd
+        )
+
+
+class TestPatterns:
+    def test_single_dipole_has_null(self):
+        axis = Vec3.unit_x()
+        broadside = design_gain_dbi(TagDesign.SINGLE_DIPOLE, Vec3.unit_z(), axis)
+        axial = design_gain_dbi(TagDesign.SINGLE_DIPOLE, Vec3.unit_x(), axis)
+        assert axial < broadside - 20.0
+
+    def test_dual_dipole_has_no_null(self):
+        axis = Vec3.unit_x()
+        gains = [
+            design_gain_dbi(TagDesign.DUAL_DIPOLE, direction, axis)
+            for direction in (Vec3.unit_x(), Vec3.unit_y(), Vec3.unit_z())
+        ]
+        assert max(gains) - min(gains) < 0.01
+
+    def test_dual_dipole_trades_peak_gain(self):
+        axis = Vec3.unit_x()
+        single = design_gain_dbi(TagDesign.SINGLE_DIPOLE, Vec3.unit_z(), axis)
+        dual = design_gain_dbi(TagDesign.DUAL_DIPOLE, Vec3.unit_z(), axis)
+        assert dual == pytest.approx(single - 3.0, abs=0.1)
+
+    def test_worst_case_pattern_loss(self):
+        assert worst_case_pattern_loss_db(TagDesign.DUAL_DIPOLE) == 0.0
+        assert worst_case_pattern_loss_db(TagDesign.SINGLE_DIPOLE) > 20.0
+
+
+class TestDetuning:
+    def test_metal_mount_shrugs_off_metal(self):
+        plain = design_detuning_db(TagDesign.SINGLE_DIPOLE, METAL, 0.0)
+        hardened = design_detuning_db(TagDesign.METAL_MOUNT, METAL, 0.0)
+        assert hardened < 0.1 * plain
+
+    def test_air_detunes_nothing(self):
+        for design in TagDesign:
+            assert design_detuning_db(design, AIR, 0.0) == 0.0
+
+
+class TestPlanningHeuristic:
+    def test_metal_mount_fixes_the_top_of_box(self):
+        """The paper's worst placement (top over a router, 29%) becomes
+        serviceable with an engineered metal-mount tag."""
+        baseline = expected_read_reliability(
+            TagDesign.SINGLE_DIPOLE, 0.29, on_metal=True
+        )
+        hardened = expected_read_reliability(
+            TagDesign.METAL_MOUNT, 0.29, on_metal=True
+        )
+        assert baseline == pytest.approx(0.29, abs=0.02)
+        assert hardened > 0.90
+
+    def test_dual_dipole_helps_uncontrolled_orientation(self):
+        careless_single = expected_read_reliability(
+            TagDesign.SINGLE_DIPOLE, 0.85, orientation_controlled=False
+        )
+        careless_dual = expected_read_reliability(
+            TagDesign.DUAL_DIPOLE, 0.85, orientation_controlled=False
+        )
+        assert careless_dual > careless_single
+
+    def test_dual_dipole_costs_gain_when_controlled(self):
+        controlled_single = expected_read_reliability(
+            TagDesign.SINGLE_DIPOLE, 0.85
+        )
+        controlled_dual = expected_read_reliability(
+            TagDesign.DUAL_DIPOLE, 0.85
+        )
+        assert controlled_dual < controlled_single
+
+    def test_invalid_base_reliability(self):
+        with pytest.raises(ValueError):
+            expected_read_reliability(TagDesign.SINGLE_DIPOLE, 1.0)
+        with pytest.raises(ValueError):
+            expected_read_reliability(TagDesign.SINGLE_DIPOLE, 0.0)
