@@ -43,10 +43,11 @@ from .world import (
     TaggedBox,
     dual_antenna_portal,
     dual_reader_portal,
+    failover_portal,
     single_antenna_portal,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DEFAULT_SEED",
@@ -66,6 +67,7 @@ __all__ = [
     "TaggedBox",
     "dual_antenna_portal",
     "dual_reader_portal",
+    "failover_portal",
     "single_antenna_portal",
     "__version__",
 ]

@@ -141,6 +141,82 @@ def _cmd_reader_redundancy(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from .world.scenarios.fault_injection import (
+        run_fault_injection_experiment,
+        run_fault_rate_sweep,
+    )
+
+    if args.sweep:
+        try:
+            results = run_fault_rate_sweep(
+                repetitions=args.reps, seed=args.seed
+            )
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        table = Table(
+            "Fault sweep — tracking reliability vs per-pass crash rate",
+            headers=("Crash rate", "1 reader", "2-reader failover"),
+        )
+        for rate, (single, failover) in sorted(results.items()):
+            table.add_row(
+                f"{rate:g}",
+                percent(single.estimate.rate),
+                percent(failover.estimate.rate),
+            )
+        print(table.render())
+        return 0
+
+    try:
+        result = run_fault_injection_experiment(
+            crash_fraction=args.crash_fraction,
+            restart_after_s=(
+                None if args.restart_after < 0 else args.restart_after
+            ),
+            repetitions=args.reps,
+            seed=args.seed,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    table = Table(
+        "Fault injection — primary reader killed mid-pass",
+        headers=("Configuration", "Reliability", "Degraded", "Failovers"),
+    )
+    for outcome in (
+        result.single_fault_free,
+        result.single_crash,
+        result.failover_fault_free,
+        result.failover_crash,
+    ):
+        table.add_row(
+            outcome.label,
+            percent(outcome.estimate.rate),
+            f"{outcome.degraded_trials}/{len(outcome.outcomes)}",
+            f"{outcome.promoted_trials}/{len(outcome.outcomes)}",
+        )
+    print(table.render())
+    sample = result.failover_crash.outcomes[0]
+    print()
+    print("Observability (failover-crash, trial 0):")
+    for transition in sample.transitions:
+        print(
+            f"  t={transition.time:6.2f}s  {transition.reader_id}: "
+            f"{transition.old.value} -> {transition.new.value}"
+        )
+    for promotion in sample.promotions:
+        print(
+            f"  t={promotion.time:6.2f}s  failover: "
+            f"{promotion.from_reader} -> {promotion.to_reader}"
+        )
+    print(
+        f"  verdict={sample.verdict!r} coverage={sample.coverage:.2f} "
+        f"(blind misses reported 'unobserved', never 'absent')"
+    )
+    return 0
+
+
 def _cmd_plan(args: argparse.Namespace) -> int:
     source = (
         OBJECT_LOCATION_RELIABILITY
@@ -207,6 +283,25 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         _add_common(p, default_reps)
         p.set_defaults(handler=handler)
+
+    faults = sub.add_parser(
+        "faults",
+        help="fault injection: reader crash, supervision, failover",
+    )
+    _add_common(faults, 20)
+    faults.add_argument(
+        "--crash-fraction", type=float, default=0.0125,
+        help="when the primary dies, as a fraction of the pass",
+    )
+    faults.add_argument(
+        "--restart-after", type=float, default=4.0,
+        help="watchdog reboot delay in seconds (negative = never restart)",
+    )
+    faults.add_argument(
+        "--sweep", action="store_true",
+        help="sweep crash probability instead of the single-kill experiment",
+    )
+    faults.set_defaults(handler=_cmd_faults)
 
     plan = sub.add_parser(
         "plan", help="deployment planning from the paper's measurements"

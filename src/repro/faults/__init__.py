@@ -1,0 +1,30 @@
+"""Deterministic fault injection: plans, schedules, and injectors."""
+
+from .injectors import FaultyTransport, corrupt_document
+from .plan import (
+    AntennaCoverage,
+    AntennaFault,
+    CoverageReport,
+    FaultPlan,
+    FaultPlanError,
+    InterferenceBurst,
+    PollFault,
+    ReaderCrash,
+    ReaderHang,
+    WireCorruption,
+)
+
+__all__ = [
+    "AntennaCoverage",
+    "AntennaFault",
+    "CoverageReport",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultyTransport",
+    "InterferenceBurst",
+    "PollFault",
+    "ReaderCrash",
+    "ReaderHang",
+    "WireCorruption",
+    "corrupt_document",
+]

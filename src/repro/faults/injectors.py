@@ -1,0 +1,149 @@
+"""Wire- and transport-level fault injection.
+
+The pass simulator handles *physical* faults (a dead reader emits no
+reads); this module handles everything that can go wrong between a
+live reader and the application: the HTTP-style poll link dropping or
+delaying responses, and the XML tag list arriving corrupted.
+
+:class:`FaultyTransport` wraps a :class:`~repro.reader.wire.PolledInterface`
+and consults a :class:`~repro.faults.plan.FaultPlan`; all randomness
+comes from an injected :class:`~repro.sim.rng.RandomStream`, so a run
+replays exactly from its seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..reader.wire import (
+    PolledInterface,
+    ReaderUnreachable,
+    TransportTimeout,
+    parse_tag_list,
+    render_tag_list,
+)
+from ..sim.events import TagReadEvent
+from ..sim.rng import RandomStream
+from .plan import FaultPlan, WireCorruption
+
+
+def corrupt_document(
+    document: str, mode: str, rng: RandomStream
+) -> str:
+    """Deterministically mangle an XML tag list the way transports do.
+
+    ``truncate`` cuts the body short; ``garble`` flips a byte to an
+    XML-hostile character; ``drop_field`` removes one required element.
+    An empty or near-empty document falls back to truncation of
+    whatever is there.
+    """
+    if mode not in WireCorruption.MODES:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    if mode == "truncate" or len(document) < 8:
+        cut = rng.randint(1, max(1, len(document) - 1))
+        return document[:cut]
+    if mode == "garble":
+        index = rng.randint(0, len(document) - 1)
+        return document[:index] + "<" + document[index + 1 :]
+    # drop_field: remove the first occurrence of a required element.
+    field = rng.choice(
+        ["EPC", "ReaderID", "AntennaID", "Timestamp", "RSSI"]
+    )
+    open_tag, close_tag = f"<{field}>", f"</{field}>"
+    start = document.find(open_tag)
+    if start < 0:
+        return document[: len(document) // 2]
+    end = document.find(close_tag, start)
+    if end < 0:
+        return document[:start]
+    return document[:start] + document[end + len(close_tag) :]
+
+
+class FaultyTransport:
+    """A poll link that fails the way real ones do.
+
+    Drains the wrapped interface on each poll, then applies the plan's
+    transport faults in a fixed order: reachability, drop, duplicate,
+    delay, corruption. A dropped poll keeps the drained batch pending —
+    the reader's buffer still holds it, so a retry recovers the data
+    (which is exactly what :class:`~repro.reader.supervisor.SupervisedReader`
+    exploits). A reader *crash with restart* instead wipes whatever was
+    still unread at restart time.
+    """
+
+    def __init__(
+        self,
+        interface: PolledInterface,
+        reader_id: str,
+        plan: Optional[FaultPlan] = None,
+        rng: Optional[RandomStream] = None,
+    ) -> None:
+        self._interface = interface
+        self._reader_id = reader_id
+        self._plan = plan
+        self._rng = rng if rng is not None else RandomStream(0)
+        self._pending: List[TagReadEvent] = []
+        self._wiped_through = 0.0
+
+    @property
+    def reader_id(self) -> str:
+        return self._reader_id
+
+    def poll(self, now: float) -> str:
+        """Return the tag-list XML for everything due at ``now``.
+
+        Raises
+        ------
+        ReaderUnreachable
+            While the plan has the reader crashed or hung.
+        TransportTimeout
+            When the plan drops this poll (the batch stays buffered).
+        """
+        plan = self._plan
+        if plan is None:
+            return self._interface.poll(now)
+        if plan.reader_down(self._reader_id, now):
+            raise ReaderUnreachable(
+                f"reader {self._reader_id!r} is not answering at t={now:.3f}"
+            )
+        self._apply_restart_loss(now)
+        batch = self._pending + parse_tag_list(self._interface.poll(now))
+        self._pending = []
+        fault = plan.poll_fault_for(self._reader_id)
+        if fault is not None:
+            if self._rng.bernoulli(fault.drop_probability):
+                # Response lost in transit; the reader keeps its buffer.
+                self._pending = batch
+                raise TransportTimeout(
+                    f"poll to {self._reader_id!r} timed out at t={now:.3f}"
+                )
+            if self._rng.bernoulli(fault.duplicate_probability):
+                batch = batch + batch
+            if self._rng.bernoulli(fault.delay_probability):
+                horizon = now - fault.delay_s
+                self._pending = [e for e in batch if e.time > horizon]
+                batch = [e for e in batch if e.time <= horizon]
+        document = render_tag_list(batch)
+        corruption = plan.wire_corruption_for(self._reader_id)
+        if corruption is not None and self._rng.bernoulli(
+            corruption.probability
+        ):
+            # The mangled bytes go out, but the reader's buffer has
+            # already been drained — keep the batch pending so a retry
+            # (re-poll) can still deliver it intact.
+            self._pending = batch
+            return corrupt_document(document, corruption.mode, self._rng)
+        return document
+
+    def _apply_restart_loss(self, now: float) -> None:
+        """Discard buffered reads lost to a crash+restart we just crossed."""
+        assert self._plan is not None
+        for crash in self._plan.crash_restarts(self._reader_id):
+            restart = crash.restart_at_s or 0.0
+            if restart <= self._wiped_through or now < restart:
+                continue
+            # Everything buffered before the restart died with the
+            # process: drain it off the interface and drop it.
+            self._interface.poll(restart)
+            self._pending = [e for e in self._pending if e.time >= restart]
+            self._wiped_through = restart

@@ -1,4 +1,4 @@
-"""Reader-side stack: wire format, middleware, and back-end logic."""
+"""Reader-side stack: wire format, middleware, supervision, back-end logic."""
 
 from .backend import (
     ObjectRegistry,
@@ -14,7 +14,27 @@ from .middleware import (
     PresenceInterval,
     SlidingWindowSmoother,
 )
-from .wire import PolledInterface, WireFormatError, parse_tag_list, render_tag_list
+from .wire import (
+    PolledInterface,
+    PollOrderError,
+    ReaderUnreachable,
+    TransportError,
+    TransportTimeout,
+    WireFormatError,
+    parse_tag_list,
+    render_tag_list,
+)
+
+from .supervisor import (
+    HealthTransition,
+    PollStats,
+    Promotion,
+    ReaderFailoverGroup,
+    ReaderHealth,
+    RetryPolicy,
+    SupervisedReader,
+    SupervisorError,
+)
 
 from .device import DeviceConfig, DeviceError, ReaderDevice
 
@@ -35,6 +55,15 @@ __all__ = [
     "DeviceError",
     "ReaderDevice",
 
+    "HealthTransition",
+    "PollStats",
+    "Promotion",
+    "ReaderFailoverGroup",
+    "ReaderHealth",
+    "RetryPolicy",
+    "SupervisedReader",
+    "SupervisorError",
+
     "ObjectRegistry",
     "RegistryError",
     "TrackedObject",
@@ -46,6 +75,10 @@ __all__ = [
     "PresenceInterval",
     "SlidingWindowSmoother",
     "PolledInterface",
+    "PollOrderError",
+    "ReaderUnreachable",
+    "TransportError",
+    "TransportTimeout",
     "WireFormatError",
     "parse_tag_list",
     "render_tag_list",

@@ -11,9 +11,22 @@ there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Set
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from ..sim.events import TagReadEvent
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle
+    from ..faults.plan import CoverageReport
 
 
 class RegistryError(ValueError):
@@ -81,11 +94,31 @@ class TrackingDecision:
     first_seen: Optional[float]
     tags_seen: FrozenSet[str]
     total_tags: int
+    #: Fraction of the observation window the infrastructure was live
+    #: (1.0 = every antenna watched the whole window).
+    coverage: float = 1.0
+    #: True when the window was observed with impaired infrastructure —
+    #: a "not detected" under degraded coverage means "possibly missed
+    #: because we were blind", never "confidently absent".
+    degraded: bool = False
 
     @property
     def redundancy_used(self) -> bool:
         """True when the object was saved by a non-first tag."""
         return self.detected and len(self.tags_seen) < self.total_tags
+
+    @property
+    def verdict(self) -> str:
+        """Human-readable outcome honouring coverage.
+
+        ``"present"`` when detected; ``"absent"`` only when not detected
+        under *full* coverage; ``"unobserved"`` when not detected but the
+        infrastructure was partially blind — the dependable answer to
+        "was the object there?" is then "we cannot say", not "no".
+        """
+        if self.detected:
+            return "present"
+        return "unobserved" if self.degraded else "absent"
 
 
 #: Action hook invoked for each detection (open a door, update a DB...).
@@ -112,8 +145,19 @@ class TrackingBackend:
     def event_count(self) -> int:
         return len(self._events)
 
-    def decide(self) -> Dict[str, TrackingDecision]:
-        """Tracking decision for every registered object over all events."""
+    def decide(
+        self, coverage: Optional["CoverageReport"] = None
+    ) -> Dict[str, TrackingDecision]:
+        """Tracking decision for every registered object over all events.
+
+        ``coverage`` (from a faulted pass's
+        :attr:`~repro.world.simulation.PassResult.coverage`) stamps each
+        decision with how much of the window the infrastructure actually
+        watched, so a miss under a downed antenna is reported as
+        *unobserved* rather than confidently absent.
+        """
+        live_fraction = 1.0 if coverage is None else coverage.live_fraction
+        degraded = False if coverage is None else coverage.degraded
         seen_by_object: Dict[str, Set[str]] = {}
         first_time: Dict[str, float] = {}
         for event in self._events:
@@ -132,6 +176,8 @@ class TrackingBackend:
                 first_seen=first_time.get(obj.object_id),
                 tags_seen=seen,
                 total_tags=len(obj.epcs),
+                coverage=live_fraction,
+                degraded=degraded,
             )
             decisions[obj.object_id] = decision
             if decision.detected and self._on_detect is not None:

@@ -19,9 +19,12 @@ real hardware with only a transport change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from ..core.calibration import PaperSetup
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle
+    from ..faults.plan import CoverageReport, FaultPlan
 from ..rf.link import LinkEnvironment
 from ..sim.rng import SeedSequence
 from ..world.motion import StationaryPlacement
@@ -66,6 +69,7 @@ class ReaderDevice:
         params: Optional[SimulationParameters] = None,
         config: Optional[DeviceConfig] = None,
         seed: int = 427008,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> None:
         setup = PaperSetup()
         self.config = config or DeviceConfig()
@@ -80,7 +84,10 @@ class ReaderDevice:
         self._seeds = SeedSequence(seed)
         self._trial = 0
         self._buffer: Optional[PolledInterface] = None
+        self._reader_buffers: Dict[str, PolledInterface] = {}
         self._pass_duration = 0.0
+        self.fault_plan = fault_plan
+        self._last_coverage: Optional["CoverageReport"] = None
 
     # -- single read ------------------------------------------------------
 
@@ -115,7 +122,14 @@ class ReaderDevice:
             raise DeviceError("continuous read already running; stop() first")
         result = self._run(carriers)
         self._buffer = PolledInterface(list(result.trace))
+        self._reader_buffers = {
+            reader.reader_id: PolledInterface(
+                [e for e in result.trace if e.reader_id == reader.reader_id]
+            )
+            for reader in self.portal.readers
+        }
         self._pass_duration = result.duration_s
+        self._last_coverage = result.coverage
 
     def poll(self, now: float) -> str:
         """Drain buffered reads with ``time <= now`` as XML.
@@ -135,16 +149,48 @@ class ReaderDevice:
             raise DeviceError("no continuous read active")
         remainder = self._buffer.poll(now=float("inf"))
         self._buffer = None
+        self._reader_buffers = {}
         return remainder
+
+    def reader_buffer(self, reader_id: str) -> PolledInterface:
+        """The per-reader slice of the running continuous read.
+
+        Supervision needs per-reader transports (retry and failover are
+        per *component*, not per portal); this hands out one drainable
+        buffer per physical reader, suitable for wrapping in a
+        :class:`~repro.faults.injectors.FaultyTransport` or polling via
+        a :class:`~repro.reader.supervisor.SupervisedReader`.
+
+        Raises
+        ------
+        DeviceError
+            When no continuous read is active or the id is unknown.
+        """
+        if self._buffer is None:
+            raise DeviceError("no continuous read active")
+        try:
+            return self._reader_buffers[reader_id]
+        except KeyError:
+            known = sorted(self._reader_buffers)
+            raise DeviceError(
+                f"unknown reader {reader_id!r}; portal has {known}"
+            ) from None
 
     @property
     def pass_duration_s(self) -> float:
         """Duration of the most recent continuous pass."""
         return self._pass_duration
 
+    @property
+    def coverage(self) -> Optional["CoverageReport"]:
+        """Coverage report of the most recent pass (None = fault-free)."""
+        return self._last_coverage
+
     # -- internals --------------------------------------------------------
 
     def _run(self, carriers: Sequence[CarrierGroup]) -> PassResult:
-        result = self._simulator.run_pass(carriers, self._seeds, self._trial)
+        result = self._simulator.run_pass(
+            carriers, self._seeds, self._trial, fault_plan=self.fault_plan
+        )
         self._trial += 1
         return result

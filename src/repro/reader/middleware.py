@@ -15,6 +15,7 @@ Standard RFID middleware cleans the stream before the back-end sees it:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -31,11 +32,21 @@ class DuplicateEliminator:
         self._last_seen: Dict[Tuple[str, str, str], float] = {}
 
     def filter(self, events: Iterable[TagReadEvent]) -> List[TagReadEvent]:
-        """Pass each event at most once per window, preserving order."""
+        """Pass each event at most once per window, preserving order.
+
+        Streams can arrive mildly out of order (multi-reader merges,
+        delayed polls). An event *older* than the last-seen timestamp
+        for its key is always treated as a duplicate and dropped — it
+        must never rewind ``last_seen``, or a late straggler would
+        re-arm the window and let a following on-time read through
+        twice.
+        """
         out: List[TagReadEvent] = []
         for event in events:
             key = event.key()
             last = self._last_seen.get(key)
+            if last is not None and event.time < last:
+                continue  # late straggler; never re-arm the window
             if last is None or event.time - last >= self._window:
                 out.append(event)
                 self._last_seen[key] = event.time
@@ -120,8 +131,6 @@ class SlidingWindowSmoother:
         if span <= 0.0:
             return 2.0
         rate = (len(ordered) - 1) / span
-        import math
-
         return -math.log(target_miss_probability) / rate
 
 

@@ -47,6 +47,10 @@ class Journey:
     object_id: str
     sightings: List[Observation] = field(default_factory=list)
     inferred: List[Observation] = field(default_factory=list)
+    #: Checkpoints whose infrastructure was impaired while this journey
+    #: was being observed. A checkpoint missing from the journey but
+    #: present here is "unobserved", not "skipped".
+    degraded_checkpoints: Set[str] = field(default_factory=set)
 
     @property
     def checkpoints_seen(self) -> Set[str]:
@@ -56,9 +60,28 @@ class Journey:
     def checkpoints_known(self) -> Set[str]:
         return self.checkpoints_seen | {o.checkpoint for o in self.inferred}
 
+    @property
+    def degraded(self) -> bool:
+        """True when any watched checkpoint had impaired coverage."""
+        return bool(self.degraded_checkpoints)
+
+    @property
+    def confidence(self) -> str:
+        """``"full"`` or ``"reduced"`` — never silently the former."""
+        return "reduced" if self.degraded else "full"
+
     def complete(self, route: Sequence[str]) -> bool:
         """Did the object (after correction) cover the whole route?"""
         return set(route) <= self.checkpoints_known
+
+    def unobserved_gaps(self, route: Sequence[str]) -> Set[str]:
+        """Route checkpoints neither seen nor inferred *while degraded*.
+
+        These are the holes that cannot be blamed on the object: the
+        site was (partly) blind there, so absence of a sighting is not
+        evidence of absence.
+        """
+        return (set(route) - self.checkpoints_known) & self.degraded_checkpoints
 
 
 class SiteTracker:
@@ -95,6 +118,7 @@ class SiteTracker:
             )
         self._pipeline = constraints
         self._observations: List[Observation] = []
+        self._coverage: Dict[str, float] = {}
 
     @property
     def route(self) -> List[str]:
@@ -122,12 +146,41 @@ class SiteTracker:
             added += 1
         return added
 
+    def note_coverage(self, checkpoint: str, live_fraction: float) -> None:
+        """Record how much of the campaign a checkpoint actually watched.
+
+        Supervisors and faulted passes report reduced coverage here
+        (e.g. ``pass_result.coverage.live_fraction`` or a failover
+        group's ``live_fraction``); journeys through a checkpoint with
+        ``live_fraction < 1`` are annotated as degraded. Repeated notes
+        for one checkpoint keep the *worst* figure.
+        """
+        if checkpoint not in {c.name for c in self._checkpoints}:
+            raise SiteError(f"unknown checkpoint {checkpoint!r}")
+        if not 0.0 <= live_fraction <= 1.0:
+            raise SiteError(
+                f"live fraction must be in [0, 1], got {live_fraction!r}"
+            )
+        previous = self._coverage.get(checkpoint, 1.0)
+        self._coverage[checkpoint] = min(previous, live_fraction)
+
+    def checkpoint_coverage(self, checkpoint: str) -> float:
+        """The recorded live fraction for a checkpoint (default 1.0)."""
+        if checkpoint not in {c.name for c in self._checkpoints}:
+            raise SiteError(f"unknown checkpoint {checkpoint!r}")
+        return self._coverage.get(checkpoint, 1.0)
+
     def journeys(self) -> Dict[str, Journey]:
         """Corrected journeys for every registered object."""
         corrected, inferred = self._pipeline.correct(self._observations)
         inferred_keys = {(o.object_id, o.checkpoint, o.time) for o in inferred}
+        degraded = {
+            name for name, fraction in self._coverage.items() if fraction < 1.0
+        }
         result: Dict[str, Journey] = {
-            obj.object_id: Journey(obj.object_id)
+            obj.object_id: Journey(
+                obj.object_id, degraded_checkpoints=set(degraded)
+            )
             for obj in self._registry.all_objects()
         }
         for obs in corrected:
@@ -155,3 +208,4 @@ class SiteTracker:
 
     def reset(self) -> None:
         self._observations.clear()
+        self._coverage.clear()

@@ -20,6 +20,22 @@ class WireFormatError(ValueError):
     """Raised when a tag-list document cannot be parsed."""
 
 
+class PollOrderError(ValueError):
+    """Raised when a poll's ``now`` precedes an earlier poll's ``now``."""
+
+
+class TransportError(RuntimeError):
+    """Base for failures of the reader's poll link (not of the payload)."""
+
+
+class TransportTimeout(TransportError):
+    """The poll went unanswered within the transport's patience."""
+
+
+class ReaderUnreachable(TransportError):
+    """The reader is not accepting connections (crashed, hung, unplugged)."""
+
+
 def render_tag_list(events: Sequence[TagReadEvent]) -> str:
     """Serialize read events as an AR400-flavoured XML tag list."""
     root = ET.Element("TagList")
@@ -84,9 +100,28 @@ class PolledInterface:
 
     events: List[TagReadEvent]
     _cursor: int = 0
+    _last_poll: float = float("-inf")
 
     def poll(self, now: float) -> str:
-        """Return (as XML) all buffered events with ``time <= now``."""
+        """Return (as XML) all buffered events with ``time <= now``.
+
+        Polls must be issued in non-decreasing ``now`` order — the
+        buffer is a drain, not a random-access log. A poll whose ``now``
+        precedes an earlier poll's ``now`` raises :class:`PollOrderError`
+        instead of silently returning an empty batch (which callers
+        would misread as "nothing happened").
+
+        Raises
+        ------
+        PollOrderError
+            When ``now`` is earlier than a previous poll's ``now``.
+        """
+        if now < self._last_poll:
+            raise PollOrderError(
+                f"poll at t={now!r} after a poll at t={self._last_poll!r}; "
+                "time cannot go backwards on a drained buffer"
+            )
+        self._last_poll = now
         batch: List[TagReadEvent] = []
         while (
             self._cursor < len(self.events)
@@ -95,6 +130,11 @@ class PolledInterface:
             batch.append(self.events[self._cursor])
             self._cursor += 1
         return render_tag_list(batch)
+
+    def reset(self) -> None:
+        """Rewind for reuse across passes: full buffer, clock released."""
+        self._cursor = 0
+        self._last_poll = float("-inf")
 
     @property
     def drained(self) -> bool:

@@ -23,6 +23,7 @@ from .portal import (
     ReaderAssignment,
     dual_antenna_portal,
     dual_reader_portal,
+    failover_portal,
     single_antenna_portal,
 )
 from .simulation import (
@@ -102,6 +103,7 @@ __all__ = [
     "ReaderAssignment",
     "dual_antenna_portal",
     "dual_reader_portal",
+    "failover_portal",
     "single_antenna_portal",
     "CarrierGroup",
     "Occluder",

@@ -43,12 +43,22 @@ class AntennaInstallation:
 
 @dataclass(frozen=True)
 class ReaderAssignment:
-    """A reader and the antennas it multiplexes."""
+    """A reader and the antennas it multiplexes.
+
+    ``backup_antennas`` are antennas owned by *another* reader that
+    this reader can also drive through the portal's RF multiplexer.
+    Antennas are passive: an external mux can route any port to any
+    reader, as long as only one radio drives a port at a time. While
+    the owning reader is healthy the backup list is inert; when the
+    owner dies, the mux hands its ports to this reader (after the
+    supervisor's detection latency) and the portal keeps its geometry.
+    """
 
     reader_id: str
     antennas: Sequence[AntennaInstallation]
     dense_reader_mode: bool = False
     tx_power_dbm: float = 30.0
+    backup_antennas: Sequence[AntennaInstallation] = ()
 
     def __post_init__(self) -> None:
         if not self.antennas:
@@ -57,6 +67,13 @@ class ReaderAssignment:
             raise ValueError(
                 "tx power out of plausible range (10-36 dBm): "
                 f"{self.tx_power_dbm!r}"
+            )
+        own = {a.antenna_id for a in self.antennas}
+        overlap = own & {a.antenna_id for a in self.backup_antennas}
+        if overlap:
+            raise ValueError(
+                f"reader {self.reader_id!r} lists its own antennas as "
+                f"backups: {sorted(overlap)}"
             )
 
 
@@ -75,6 +92,14 @@ class Portal:
         antenna_ids = [a.antenna_id for r in self.readers for a in r.antennas]
         if len(set(antenna_ids)) != len(antenna_ids):
             raise ValueError(f"duplicate antenna ids in portal: {antenna_ids}")
+        owned = set(antenna_ids)
+        for reader in self.readers:
+            for backup in reader.backup_antennas:
+                if backup.antenna_id not in owned:
+                    raise ValueError(
+                        f"reader {reader.reader_id!r} backs up antenna "
+                        f"{backup.antenna_id!r}, which no reader owns"
+                    )
 
     @property
     def all_antennas(self) -> List[AntennaInstallation]:
@@ -131,6 +156,54 @@ def dual_antenna_portal(
     return Portal(
         readers=(
             ReaderAssignment("reader-0", antennas, tx_power_dbm=tx_power_dbm),
+        )
+    )
+
+
+def failover_portal(
+    spacing_m: float = PAPER_ANTENNA_SPACING_M,
+    height_m: float = ANTENNA_HEIGHT_M,
+    dense_reader_mode: bool = True,
+    tx_power_dbm: float = 30.0,
+) -> Portal:
+    """The supervised hot-standby build: dual-DRM wiring plus an RF mux.
+
+    The radio layout is exactly the dual-reader configuration the paper
+    proved out (one antenna each at +/- spacing/2, dense-reader mode on
+    so the carriers do not jam each other — the Section 4 lesson), with
+    one addition from hot-standby practice: the antennas hang off an RF
+    multiplexer, so when a reader dies the survivor inherits the orphaned
+    port and keeps the full portal geometry. Co-locating spare antennas
+    instead would not work — two carriers a few decimetres apart couple
+    tens of dB above the backscatter floor, more than even dense-reader
+    mode's spectral isolation can absorb — but a mux shares the passive
+    antennas without ever powering two radios into one zone.
+    """
+    if spacing_m <= 0.0:
+        raise ValueError(f"spacing must be positive, got {spacing_m!r}")
+    half = spacing_m / 2.0
+    left = AntennaInstallation(
+        "ant-0", Vec3(-half, height_m, 0.0), Vec3.unit_z()
+    )
+    right = AntennaInstallation(
+        "ant-1", Vec3(half, height_m, 0.0), Vec3.unit_z()
+    )
+    return Portal(
+        readers=(
+            ReaderAssignment(
+                "reader-0",
+                (left,),
+                dense_reader_mode=dense_reader_mode,
+                tx_power_dbm=tx_power_dbm,
+                backup_antennas=(right,),
+            ),
+            ReaderAssignment(
+                "reader-1",
+                (right,),
+                dense_reader_mode=dense_reader_mode,
+                tx_power_dbm=tx_power_dbm,
+                backup_antennas=(left,),
+            ),
         )
     )
 

@@ -34,6 +34,15 @@ from .materials_study import (
     build_material_cart,
     run_materials_study,
 )
+from .fault_injection import (
+    ConfigOutcome,
+    FaultInjectionResult,
+    SupervisedTrialOutcome,
+    primary_crash_plan,
+    run_fault_injection_experiment,
+    run_fault_rate_sweep,
+    run_supervised_pass,
+)
 from .reader_redundancy import (
     ReaderRedundancyResult,
     run_reader_redundancy_experiment,
@@ -52,6 +61,13 @@ __all__ = [
     "run_materials_study",
     "ReaderRedundancyResult",
     "run_reader_redundancy_experiment",
+    "ConfigOutcome",
+    "FaultInjectionResult",
+    "SupervisedTrialOutcome",
+    "primary_crash_plan",
+    "run_fault_injection_experiment",
+    "run_fault_rate_sweep",
+    "run_supervised_pass",
     "PLACEMENT_SETS",
     "TABLE4_CASES",
     "TABLE5_CASES",

@@ -25,7 +25,19 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle
+    from ..faults.plan import CoverageReport, FaultPlan
 
 from ..protocol.dense_reader import (
     CO_CHANNEL_DWELL_PROBABILITY,
@@ -41,6 +53,7 @@ from ..protocol.gen2 import (
 from ..protocol.timing import DEFAULT_TIMING, Gen2Timing
 from ..rf.coupling import CouplingModel
 from ..rf.geometry import Vec3, segment_sphere_chord_length
+from ..rf.units import sum_powers_dbm
 from ..rf.link import LinkEnvironment, LinkGeometry, LinkResult, evaluate_link
 from ..rf.materials import Material
 from ..sim.events import TagReadEvent
@@ -130,6 +143,14 @@ class SimulationParameters:
     #: 915 MHz). Stationary tags keep one fading realisation for a whole
     #: trial; a 1 m/s cart sees a fresh one roughly every 0.16 s.
     fading_coherence_m: float = 0.164
+    #: How long an orphaned antenna stays dark before the portal's RF
+    #: multiplexer hands it to a backup reader (see
+    #: :attr:`~repro.world.portal.ReaderAssignment.backup_antennas`).
+    #: The mux fails over on early evidence — a single missed 0.25 s
+    #: poll, the same event that makes the supervisor flag the reader
+    #: degraded — since rerouting a passive port to the standby is
+    #: cheap and instantly reversible if the owner answers again.
+    mux_takeover_delay_s: float = 0.25
 
 
 @dataclass
@@ -139,6 +160,11 @@ class PassResult:
     trace: ReadTrace
     duration_s: float
     rounds: int
+    #: Infrastructure liveness during this pass; ``None`` for a
+    #: fault-free run (full coverage implied). Downstream tracking
+    #: decisions consume this to avoid conflating "tag absent" with
+    #: "reader blind".
+    coverage: Optional["CoverageReport"] = None
 
     @property
     def read_epcs(self) -> Set[str]:
@@ -237,8 +263,15 @@ class PortalPassSimulator:
         fading_gain: float,
         interference_dbm: Optional[float],
         coupling_db: float,
+        extra_loss_db: float = 0.0,
     ) -> LinkResult:
-        """One full link-budget evaluation for a read attempt at time ``t``."""
+        """One full link-budget evaluation for a read attempt at time ``t``.
+
+        ``extra_loss_db`` models port-level impairments (a detuned or
+        water-logged antenna from a fault plan): applied at the reader
+        port, it attenuates the forward link and — through the tag's
+        reduced backscatter power — the reverse link as well.
+        """
         tag_pos = carrier.tag_world_position(tag, t)
         obstruction_db, reflector = self._obstruction_db(
             carriers, antenna.position, tag_pos, t
@@ -257,7 +290,7 @@ class PortalPassSimulator:
             tag_gain_override = tag.pattern_gain_dbi(-geometry.direction)
         return evaluate_link(
             self.env,
-            reader.tx_power_dbm + gain_bonus,
+            reader.tx_power_dbm + gain_bonus - extra_loss_db,
             geometry,
             obstruction_loss_db=obstruction_db,
             tag_detuning_db=tag.detuning_db(),
@@ -284,6 +317,7 @@ class PortalPassSimulator:
         carriers: Sequence[CarrierGroup],
         seeds: SeedSequence,
         trial: int,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> PassResult:
         """Simulate one complete pass (one physical repetition).
 
@@ -296,6 +330,17 @@ class PortalPassSimulator:
         trial:
             Repetition index; distinct trials get independent shadowing
             and fading but share the deterministic geometry.
+        fault_plan:
+            Optional component-fault schedule
+            (:class:`~repro.faults.plan.FaultPlan`). Physical faults are
+            honoured here — a crashed or hung reader runs no inventory
+            rounds, a silent antenna port reads nothing, a detuned port
+            reads weaker, interference bursts raise every receive floor
+            — and the resulting :class:`PassResult` carries a coverage
+            report of what the infrastructure actually watched.
+            Transport-level faults (poll drops, XML corruption) live at
+            the wire layer instead; see
+            :class:`~repro.faults.injectors.FaultyTransport`.
         """
         all_tags: List[Tuple[CarrierGroup, Tag]] = [
             (carrier, tag) for carrier in carriers for tag in carrier.tags
@@ -361,6 +406,7 @@ class PortalPassSimulator:
                 trial,
                 duration,
                 interference_rng,
+                fault_plan,
             )
             reader_traces.append(events)
             total_rounds += rounds
@@ -370,7 +416,22 @@ class PortalPassSimulator:
         )
         for event in merged:
             trace.record(event)
-        return PassResult(trace=trace, duration_s=duration, rounds=total_rounds)
+        coverage = None
+        if fault_plan is not None and not fault_plan.is_empty:
+            coverage = fault_plan.coverage_report(
+                [
+                    (r.reader_id, a.antenna_id)
+                    for r in self.portal.readers
+                    for a in r.antennas
+                ],
+                duration,
+            )
+        return PassResult(
+            trace=trace,
+            duration_s=duration,
+            rounds=total_rounds,
+            coverage=coverage,
+        )
 
     def _run_reader_timeline(
         self,
@@ -384,6 +445,7 @@ class PortalPassSimulator:
         trial: int,
         duration: float,
         interference_rng,
+        fault_plan: Optional["FaultPlan"] = None,
     ) -> Tuple[List[TagReadEvent], int]:
         """One reader's full pass: TDMA over its antennas, round after round."""
         protocol_rng = seeds.trial_stream(f"protocol:{reader.reader_id}", trial)
@@ -394,14 +456,80 @@ class PortalPassSimulator:
         t = 0.0
         antennas = list(reader.antennas)
         other_radios = self._other_radios(reader)
+        restarts = (
+            [] if fault_plan is None
+            else [c.down_until for c in fault_plan.crash_restarts(reader.reader_id)]
+        )
+        # RF-mux takeover windows: [start + detection delay, end) slices
+        # of another reader's outage during which its orphaned antennas
+        # are rerouted to this reader.
+        owner_of_antenna = {
+            a.antenna_id: r.reader_id
+            for r in self.portal.readers
+            for a in r.antennas
+        }
+        takeovers: List[Tuple[AntennaInstallation, float, float]] = []
+        if fault_plan is not None and reader.backup_antennas:
+            delay = self.params.mux_takeover_delay_s
+            for backup in reader.backup_antennas:
+                owner = owner_of_antenna[backup.antenna_id]
+                for start, end in fault_plan.reader_outages(owner):
+                    if start + delay < end:
+                        takeovers.append((backup, start + delay, end))
 
         while t < duration:
-            antenna = antennas[
-                int(t / self.params.tdma_slot_s) % len(antennas)
+            # A power-cycled reader comes back with a fresh inventory
+            # session: its carrier dropped, so the tags' S0 flags (and,
+            # over a seconds-long reboot, S1 persistence) lapse, and
+            # previously read tags answer again.
+            while restarts and t >= restarts[0]:
+                session.reset()
+                restarts.pop(0)
+            if fault_plan is not None and fault_plan.reader_down(
+                reader.reader_id, t
+            ):
+                # Crashed or hung: no inventory, no airtime, no reads.
+                t += self.params.tdma_slot_s
+                continue
+            active = antennas
+            if takeovers:
+                inherited = [
+                    a for (a, start, end) in takeovers if start <= t < end
+                ]
+                if inherited:
+                    active = antennas + inherited
+            antenna = active[
+                int(t / self.params.tdma_slot_s) % len(active)
             ]
+            fault_loss_db = 0.0
+            if fault_plan is not None:
+                silent, fault_loss_db = fault_plan.antenna_state(
+                    reader.reader_id, antenna.antenna_id, t
+                )
+                if silent:
+                    # Cable cut: the dwell happens but nothing radiates.
+                    t += self.params.tdma_slot_s
+                    continue
+            # A crashed neighbour radiates nothing: drop it from the
+            # aggressor list for dwells inside its outage.
+            live_radios = other_radios
+            if fault_plan is not None and other_radios:
+                live_radios = [
+                    radio
+                    for radio in other_radios
+                    if not fault_plan.reader_down(radio.reader_id, t)
+                ]
             interference = self._interference_for(
-                reader, antenna, other_radios, interference_rng
+                reader, antenna, live_radios, interference_rng
             )
+            if fault_plan is not None:
+                burst = fault_plan.interference_dbm_at(t)
+                if burst is not None:
+                    interference = (
+                        burst
+                        if interference is None
+                        else sum_powers_dbm(interference, burst)
+                    )
             last_result: Dict[str, LinkResult] = {}
 
             def channel(epc: str) -> TagChannel:
@@ -425,6 +553,9 @@ class PortalPassSimulator:
                     int(tag_pos.y // cell),
                     int(tag_pos.z // cell),
                 )
+                # Keyed by (radio, antenna): two radios driving the
+                # same port see decorrelated small-scale fading, since
+                # they hop on different frequency channels.
                 fading_rng = seeds.trial_stream(
                     f"fading:{reader.reader_id}:{antenna.antenna_id}:{epc}:"
                     f"{bin_key[0]}:{bin_key[1]}:{bin_key[2]}",
@@ -444,6 +575,7 @@ class PortalPassSimulator:
                     fading_gain,
                     interference,
                     coupling_db[epc],
+                    fault_loss_db,
                 )
                 last_result[epc] = result
                 return TagChannel(

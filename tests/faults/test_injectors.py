@@ -1,0 +1,176 @@
+"""Tests for wire/transport fault injection."""
+
+import pytest
+
+from repro.faults.injectors import FaultyTransport, corrupt_document
+from repro.faults.plan import (
+    FaultPlan,
+    PollFault,
+    ReaderCrash,
+    WireCorruption,
+)
+from repro.reader.wire import (
+    PolledInterface,
+    ReaderUnreachable,
+    TransportTimeout,
+    WireFormatError,
+    parse_tag_list,
+    render_tag_list,
+)
+from repro.sim.events import TagReadEvent
+from repro.sim.rng import RandomStream
+
+
+def _event(t, epc="A" * 24):
+    return TagReadEvent(t, epc, "reader-0", "ant-0", rssi_dbm=-60.0)
+
+
+def _interface(times):
+    return PolledInterface([_event(t) for t in times])
+
+
+class TestCorruptDocument:
+    DOC = render_tag_list([_event(1.0), _event(2.0, epc="B" * 24)])
+
+    def test_truncate_breaks_parsing(self):
+        mangled = corrupt_document(self.DOC, "truncate", RandomStream(3))
+        assert len(mangled) < len(self.DOC)
+        with pytest.raises(WireFormatError):
+            parse_tag_list(mangled)
+
+    def test_garble_breaks_parsing(self):
+        mangled = corrupt_document(self.DOC, "garble", RandomStream(3))
+        assert len(mangled) == len(self.DOC)
+        with pytest.raises(WireFormatError):
+            parse_tag_list(mangled)
+
+    def test_drop_field_removes_a_required_element(self):
+        mangled = corrupt_document(self.DOC, "drop_field", RandomStream(3))
+        with pytest.raises(WireFormatError):
+            parse_tag_list(mangled)
+
+    def test_deterministic_per_stream_seed(self):
+        a = corrupt_document(self.DOC, "garble", RandomStream(11))
+        b = corrupt_document(self.DOC, "garble", RandomStream(11))
+        assert a == b
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            corrupt_document(self.DOC, "teleport", RandomStream(1))
+
+
+class TestFaultyTransport:
+    def test_no_plan_passes_through(self):
+        transport = FaultyTransport(_interface([0.5]), "reader-0")
+        events = parse_tag_list(transport.poll(1.0))
+        assert [e.time for e in events] == [0.5]
+
+    def test_unreachable_while_down(self):
+        plan = FaultPlan(
+            crashes=(ReaderCrash("reader-0", 1.0, restart_at_s=3.0),)
+        )
+        transport = FaultyTransport(_interface([0.5]), "reader-0", plan)
+        parse_tag_list(transport.poll(0.9))
+        with pytest.raises(ReaderUnreachable):
+            transport.poll(2.0)
+
+    def test_crash_restart_wipes_unpolled_buffer(self):
+        # Reads land at 0.5 and 0.9; the application never polls before
+        # the crash at 1.0, so the restart at 3.0 destroys them. A read
+        # after the restart survives.
+        plan = FaultPlan(
+            crashes=(ReaderCrash("reader-0", 1.0, restart_at_s=3.0),)
+        )
+        transport = FaultyTransport(
+            _interface([0.5, 0.9, 3.5]), "reader-0", plan
+        )
+        events = parse_tag_list(transport.poll(4.0))
+        assert [e.time for e in events] == [3.5]
+
+    def test_polled_before_crash_survives(self):
+        plan = FaultPlan(
+            crashes=(ReaderCrash("reader-0", 1.0, restart_at_s=3.0),)
+        )
+        transport = FaultyTransport(_interface([0.5]), "reader-0", plan)
+        events = parse_tag_list(transport.poll(0.9))
+        assert [e.time for e in events] == [0.5]
+
+    def test_dropped_poll_keeps_batch_for_retry(self):
+        plan = FaultPlan(
+            poll_faults=(PollFault("reader-0", drop_probability=1.0),)
+        )
+        # First rng draw drops the poll; then disable drops and re-poll.
+        transport = FaultyTransport(
+            _interface([0.5]), "reader-0", plan, rng=RandomStream(5)
+        )
+        with pytest.raises(TransportTimeout):
+            transport.poll(1.0)
+        transport._plan = FaultPlan()  # link heals
+        events = parse_tag_list(transport.poll(1.1))
+        assert [e.time for e in events] == [0.5]
+
+    def test_duplicate_delivery(self):
+        plan = FaultPlan(
+            poll_faults=(PollFault("reader-0", duplicate_probability=1.0),)
+        )
+        transport = FaultyTransport(
+            _interface([0.5]), "reader-0", plan, rng=RandomStream(5)
+        )
+        events = parse_tag_list(transport.poll(1.0))
+        assert [e.time for e in events] == [0.5, 0.5]
+
+    def test_delay_holds_recent_events_back(self):
+        plan = FaultPlan(
+            poll_faults=(
+                PollFault(
+                    "reader-0", delay_probability=1.0, delay_s=0.5
+                ),
+            )
+        )
+        transport = FaultyTransport(
+            _interface([0.2, 0.9]), "reader-0", plan, rng=RandomStream(5)
+        )
+        first = parse_tag_list(transport.poll(1.0))
+        assert [e.time for e in first] == [0.2]  # 0.9 is within delay_s
+        second = parse_tag_list(transport.poll(2.0))
+        assert [e.time for e in second] == [0.9]  # delivered late, not lost
+
+    def test_corruption_keeps_batch_so_retry_recovers(self):
+        plan = FaultPlan(
+            wire_corruptions=(
+                WireCorruption("reader-0", probability=1.0, mode="truncate"),
+            )
+        )
+        transport = FaultyTransport(
+            _interface([0.5]), "reader-0", plan, rng=RandomStream(5)
+        )
+        with pytest.raises(WireFormatError):
+            parse_tag_list(transport.poll(1.0))
+        transport._plan = FaultPlan()
+        events = parse_tag_list(transport.poll(1.1))
+        assert [e.time for e in events] == [0.5]
+
+    def test_deterministic_given_stream_seed(self):
+        plan = FaultPlan(
+            poll_faults=(PollFault("reader-0", drop_probability=0.5),),
+            wire_corruptions=(
+                WireCorruption("reader-0", probability=0.5, mode="garble"),
+            ),
+        )
+
+        def run():
+            transport = FaultyTransport(
+                _interface([0.1, 0.6, 1.1]),
+                "reader-0",
+                plan,
+                rng=RandomStream(21),
+            )
+            out = []
+            for t in (0.5, 1.0, 1.5, 2.0):
+                try:
+                    out.append(transport.poll(t))
+                except (TransportTimeout, ReaderUnreachable) as exc:
+                    out.append(type(exc).__name__)
+            return out
+
+        assert run() == run()

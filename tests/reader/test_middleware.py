@@ -55,6 +55,22 @@ class TestDuplicateEliminator:
         with pytest.raises(ValueError):
             DuplicateEliminator(window_s=-1.0)
 
+    def test_out_of_order_straggler_never_rearms_window(self):
+        # Regression: a late event arriving after a newer one (delayed
+        # poll, multi-reader merge) must be dropped as a duplicate and
+        # must NOT rewind last_seen — otherwise the next on-time read
+        # would sneak through the re-armed window.
+        dedup = DuplicateEliminator(window_s=1.0)
+        assert len(dedup.filter([_event(5.0)])) == 1
+        assert dedup.filter([_event(4.2)]) == []  # straggler dropped...
+        assert dedup.filter([_event(5.5)]) == []  # ...and window intact
+
+    def test_straggler_drop_is_per_key(self):
+        dedup = DuplicateEliminator(window_s=1.0)
+        dedup.filter([_event(5.0, epc="A" * 24)])
+        out = dedup.filter([_event(4.2, epc="B" * 24)])
+        assert len(out) == 1  # other keys are unaffected
+
 
 class TestSmoother:
     def test_single_read_makes_interval(self):
