@@ -8,12 +8,20 @@ regressions in the code the experiment harness calls millions of times.
 import pytest
 
 from repro.core.calibration import PaperSetup
+from repro.core.experiment import run_trials
+from repro.core.parallel import PassTrialTask
 from repro.core.redundancy import combined_reliability
 from repro.protocol.crc import bytes_to_bits, crc16
 from repro.protocol.epc import EpcFactory
 from repro.protocol.gen2 import QAlgorithm, TagChannel, run_inventory_round
 from repro.rf.geometry import Vec3
-from repro.rf.link import LinkGeometry, evaluate_link
+from repro.rf.link import (
+    LinkGeometry,
+    compose_link,
+    compute_link_terms,
+    evaluate_link,
+    free_space_read_range_m,
+)
 from repro.sim.rng import RandomStream, SeedSequence
 from repro.world.motion import LinearPass
 from repro.world.portal import single_antenna_portal
@@ -44,6 +52,42 @@ def test_perf_link_budget(benchmark):
         0.8,   # fading
     )
     assert result.forward_power_dbm < 30.0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_link_compose_cached_terms(benchmark):
+    """Link composition when the geometry terms are already cached.
+
+    This is the per-draw cost inside a pass once the per-pass cache
+    has resolved the static (tag, antenna) terms — the difference from
+    ``test_perf_link_budget`` is what the cache saves.
+    """
+    geometry = LinkGeometry(
+        antenna_position=Vec3(0, 1, 0),
+        antenna_boresight=Vec3.unit_z(),
+        tag_position=Vec3(0.3, 1.1, 1.0),
+        tag_axis=Vec3.unit_x(),
+    )
+    terms = compute_link_terms(SETUP.env, geometry)
+    result = benchmark(
+        compose_link,
+        SETUP.env,
+        30.0,
+        terms,
+        5.0,   # obstruction
+        3.0,   # detuning
+        0.0,   # coupling
+        -1.5,  # shadowing
+        0.8,   # fading
+    )
+    assert result.forward_power_dbm < 30.0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_read_range_search(benchmark):
+    """The envelope-bisect read-range search at calibration resolution."""
+    value = benchmark(free_space_read_range_m, SETUP.env, 30.0)
+    assert 2.0 < value < 15.0
 
 
 @pytest.mark.benchmark(group="perf")
@@ -107,3 +151,62 @@ def test_perf_full_pass(benchmark):
         iterations=1,
     )
     assert result.duration_s > 0
+
+
+def _cart_pass_fixture(use_link_cache):
+    """A 12-box cart pass — the workload the per-pass cache targets."""
+    from repro.world.objects import BoxFace
+    from repro.world.scenarios.object_tracking import build_box_cart
+
+    simulator = PortalPassSimulator(
+        portal=single_antenna_portal(),
+        env=SETUP.env,
+        params=SETUP.params,
+        use_link_cache=use_link_cache,
+    )
+    carrier, _ = build_box_cart([BoxFace.FRONT])
+    return simulator, carrier
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_cart_pass_cached(benchmark):
+    """The Table 1 cart pass with the per-pass link cache enabled."""
+    simulator, carrier = _cart_pass_fixture(True)
+    seeds = SeedSequence(1)
+    result = benchmark.pedantic(
+        lambda: simulator.run_pass([carrier], seeds, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.duration_s > 0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_cart_pass_uncached(benchmark):
+    """The same cart pass with the cache disabled (legacy hot path)."""
+    simulator, carrier = _cart_pass_fixture(False)
+    seeds = SeedSequence(1)
+    result = benchmark.pedantic(
+        lambda: simulator.run_pass([carrier], seeds, 0),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.duration_s > 0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_parallel_engine_dispatch(benchmark):
+    """Process-pool dispatch overhead for a short trial batch.
+
+    Uses the real :class:`PassTrialTask` over a single-tag pass so the
+    number covers pickling, pool spawn, and result gathering — the
+    fixed cost a parallel run must amortise.
+    """
+    simulator, carrier = _cart_pass_fixture(True)
+    task = PassTrialTask(simulator=simulator, carriers=(carrier,))
+    result = benchmark.pedantic(
+        lambda: run_trials("bench:dispatch", task, 2, seed=1, workers=2),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(result.outcomes) == 2

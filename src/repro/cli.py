@@ -10,9 +10,14 @@ Examples
     python -m repro reader-redundancy
     python -m repro plan --target 0.995
     python -m repro report
+    python -m repro bench --quick
 
-Every experiment command accepts ``--reps`` and ``--seed``; outputs are
-the same ASCII tables the benchmark harness records.
+Every experiment command accepts ``--reps``, ``--seed`` and
+``--workers`` (trial fan-out over a process pool; defaults to the
+``REPRO_WORKERS`` environment variable, unset means serial); outputs
+are the same ASCII tables the benchmark harness records. ``bench``
+records the performance suite to a machine-readable
+``BENCH_<date>.json``.
 """
 
 from __future__ import annotations
@@ -40,13 +45,21 @@ def _add_common(parser: argparse.ArgumentParser, default_reps: int) -> None:
         "--seed", type=int, default=DEFAULT_SEED,
         help="root seed for reproducibility",
     )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help=(
+            "trial fan-out over a process pool; results are "
+            "bit-identical to serial (default: REPRO_WORKERS env, "
+            "unset = serial)"
+        ),
+    )
 
 
 def _cmd_read_range(args: argparse.Namespace) -> int:
     from .world.scenarios.read_range import run_read_range_experiment
 
     results = run_read_range_experiment(
-        repetitions=args.reps, seed=args.seed
+        repetitions=args.reps, seed=args.seed, workers=args.workers
     )
     table = Table(
         "Figure 2 — mean tags read (of 20) vs distance",
@@ -66,7 +79,9 @@ def _cmd_read_range(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .world.scenarios.object_tracking import run_table1_experiment
 
-    results = run_table1_experiment(repetitions=args.reps, seed=args.seed)
+    results = run_table1_experiment(
+        repetitions=args.reps, seed=args.seed, workers=args.workers
+    )
     table = Table(
         "Table 1 — read reliability for tags on objects",
         headers=("Location", "Measured", "Paper"),
@@ -84,7 +99,9 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .world.scenarios.human_tracking import run_table2_experiment
 
-    results = run_table2_experiment(repetitions=args.reps, seed=args.seed)
+    results = run_table2_experiment(
+        repetitions=args.reps, seed=args.seed, workers=args.workers
+    )
     table = Table(
         "Table 2 — read reliability for tags on humans",
         headers=("Placement", "1 subject", "2 subj closer", "2 subj farther"),
@@ -106,7 +123,7 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     )
 
     outcomes = run_object_redundancy_experiment(
-        repetitions=args.reps, seed=args.seed
+        repetitions=args.reps, seed=args.seed, workers=args.workers
     )
     table = Table(
         "Table 3 — redundancy for object tracking",
@@ -128,7 +145,7 @@ def _cmd_reader_redundancy(args: argparse.Namespace) -> int:
     )
 
     result = run_reader_redundancy_experiment(
-        repetitions=args.reps, seed=args.seed
+        repetitions=args.reps, seed=args.seed, workers=args.workers
     )
     table = Table(
         "Section 4 — reader-level redundancy",
@@ -150,7 +167,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.sweep:
         try:
             results = run_fault_rate_sweep(
-                repetitions=args.reps, seed=args.seed
+                repetitions=args.reps, seed=args.seed, workers=args.workers
             )
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
@@ -176,6 +193,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             ),
             repetitions=args.reps,
             seed=args.seed,
+            workers=args.workers,
         )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -250,6 +268,23 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .core.bench import run_benchmark, summarise, write_benchmark
+
+    doc = run_benchmark(
+        workers=args.workers, quick=args.quick, seed=args.seed
+    )
+    path = write_benchmark(doc, args.output)
+    print(summarise(doc))
+    print(f"wrote {path}")
+    if not doc["workload"]["parity"]:
+        print(
+            "error: parallel outcomes differ from serial", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core import report
 
@@ -321,6 +356,28 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="assemble EXPERIMENTS.md from benchmark results"
     )
     report.set_defaults(handler=_cmd_report)
+
+    bench = sub.add_parser(
+        "bench",
+        help="record the perf suite to a machine-readable BENCH_<date>.json",
+    )
+    bench.add_argument(
+        "--quick", action="store_true",
+        help="reduced iteration counts (for CI smoke runs)",
+    )
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="worker count for the parallel workload (default: min(4, cpus))",
+    )
+    bench.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="root seed for the workload trials",
+    )
+    bench.add_argument(
+        "--output", default=None,
+        help="output path (default: BENCH_<date>.json in the cwd)",
+    )
+    bench.set_defaults(handler=_cmd_bench)
     return parser
 
 
@@ -328,7 +385,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

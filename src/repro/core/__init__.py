@@ -19,6 +19,13 @@ from .constraints import (
     RouteConstraint,
 )
 from .experiment import DEFAULT_SEED, TrialSet, run_trials, sweep
+from .parallel import (
+    REPRO_WORKERS_ENV,
+    PassTrialTask,
+    execute_trials,
+    resolve_workers,
+    task_is_picklable,
+)
 from .model import (
     EmpiricalReliabilityModel,
     HUMAN_ONE_SUBJECT_RELIABILITY,
@@ -98,6 +105,11 @@ __all__ = [
     "TrialSet",
     "run_trials",
     "sweep",
+    "REPRO_WORKERS_ENV",
+    "PassTrialTask",
+    "execute_trials",
+    "resolve_workers",
+    "task_is_picklable",
     "EmpiricalReliabilityModel",
     "HUMAN_ONE_SUBJECT_RELIABILITY",
     "HUMAN_TWO_SUBJECT_RELIABILITY",

@@ -9,10 +9,18 @@ scenarios and benchmarks.
 from __future__ import annotations
 
 import hashlib
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generic, List, Optional, Sequence, TypeVar
+from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
 
 from ..sim.rng import SeedSequence
+from .parallel import (
+    execute_trials,
+    gather_trials,
+    resolve_workers,
+    submit_trials,
+    task_is_picklable,
+)
 from .reliability import CountDistribution, ReliabilityEstimate
 
 T = TypeVar("T")
@@ -68,6 +76,7 @@ def run_trials(
     trial_fn: Callable[[SeedSequence, int], T],
     repetitions: int,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> TrialSet[T]:
     """Run ``trial_fn`` ``repetitions`` times with per-trial seeding.
 
@@ -75,9 +84,22 @@ def run_trials(
     container and its repetition index; everything stochastic inside
     must derive from those two so that re-running with the same seed
     reproduces the result exactly.
+
+    ``workers`` fans the trial loop out over a process pool (``None``
+    defers to the ``REPRO_WORKERS`` environment variable; unset means
+    serial). Because per-trial streams are derived statelessly from
+    ``(seed, name, trial)``, the parallel outcomes are **bit-identical**
+    to the serial loop, in trial-index order. Trial callables that
+    cannot be pickled (closures) silently run serially; use the trial
+    task dataclasses (e.g. :class:`~repro.core.parallel.PassTrialTask`)
+    to make a workload parallel-capable.
     """
     if repetitions < 1:
         raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
+    effective = resolve_workers(workers)
+    if effective > 1 and task_is_picklable(trial_fn):
+        outcomes = execute_trials(trial_fn, repetitions, seed, effective)
+        return TrialSet(label=label, outcomes=outcomes)
     seeds = SeedSequence(seed)
     trial_set: TrialSet[T] = TrialSet(label=label)
     for trial in range(repetitions):
@@ -91,17 +113,52 @@ def sweep(
     trial_fn_factory: Callable[[float], Callable[[SeedSequence, int], T]],
     repetitions: int,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> Dict[float, TrialSet[T]]:
     """Run a parameter sweep: one :func:`run_trials` per value.
 
     Each sweep point derives its own seed from the root seed and the
     parameter value, keeping points statistically independent while the
-    whole sweep stays reproducible.
+    whole sweep stays reproducible. Two sweep values that collide after
+    rounding to 9 decimals would share a seed (and, if exactly equal,
+    silently overwrite each other's results), so duplicates raise
+    :class:`ValueError`.
+
+    With ``workers`` (or ``REPRO_WORKERS``) set and picklable trial
+    tasks, every (value, trial) pair across the whole sweep fans out
+    over one shared process pool, so narrow sweeps with few repetitions
+    per point still saturate the machine.
     """
-    results: Dict[float, TrialSet[T]] = {}
+    points: List[Tuple[float, int, Callable[[SeedSequence, int], T]]] = []
+    seen: Dict[str, float] = {}
     for value in values:
-        point_seed = seed ^ stable_hash(repr(round(value, 9)))
+        key = repr(round(value, 9))
+        if key in seen:
+            raise ValueError(
+                f"sweep values {seen[key]!r} and {value!r} collide after "
+                f"round(value, 9); sweep points must be distinct"
+            )
+        seen[key] = value
+        point_seed = seed ^ stable_hash(key)
+        points.append((value, point_seed, trial_fn_factory(value)))
+
+    effective = resolve_workers(workers)
+    results: Dict[float, TrialSet[T]] = {}
+    if effective > 1 and all(task_is_picklable(fn) for _, _, fn in points):
+        # One pool for the whole sweep: submit every point's chunks up
+        # front, then collect in order.
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            submitted = [
+                (value, submit_trials(pool, fn, repetitions, point_seed, effective))
+                for value, point_seed, fn in points
+            ]
+            for value, futures in submitted:
+                results[value] = TrialSet(
+                    label=label_fn(value), outcomes=gather_trials(futures)
+                )
+        return results
+    for value, point_seed, fn in points:
         results[value] = run_trials(
-            label_fn(value), trial_fn_factory(value), repetitions, seed=point_seed
+            label_fn(value), fn, repetitions, seed=point_seed
         )
     return results

@@ -101,6 +101,46 @@ class PathLossModel:
             power = 1e-30
         return linear_to_db(power) - excess_db
 
+    def path_gain_upper_bound_db(
+        self,
+        distance_m: float,
+        tx_height_m: float = 1.0,
+        rx_height_m: float = 1.0,
+    ) -> float:
+        """A monotone-decreasing upper bound on :meth:`path_gain_db`.
+
+        Replaces the coherent two-ray sum with its constructive maximum
+        ``(|a_direct| + |a_reflect|)^2``, which bounds the true gain at
+        every distance and — unlike the rippled exact gain — decreases
+        monotonically with distance. Used by the read-range search to
+        bracket the farthest point any link could possibly close.
+        Without the two-ray term the bound equals the exact gain.
+        """
+        if distance_m < 0.0:
+            raise ValueError(f"distance must be non-negative, got {distance_m!r}")
+        lam = wavelength(self.freq_hz)
+        dh = tx_height_m - rx_height_m
+        d_direct = math.sqrt(distance_m * distance_m + dh * dh)
+        d_direct = max(d_direct, lam / 10.0)
+        excess_db = 0.0
+        if d_direct > 1.0 and self.path_loss_exponent > 2.0:
+            excess_db = (
+                10.0
+                * (self.path_loss_exponent - 2.0)
+                * math.log10(d_direct)
+            )
+        amp_direct = lam / (4.0 * math.pi * d_direct)
+        if not self.use_two_ray:
+            return linear_to_db(amp_direct * amp_direct) - excess_db
+        sh = tx_height_m + rx_height_m
+        d_reflect = math.sqrt(distance_m * distance_m + sh * sh)
+        d_reflect = max(d_reflect, lam / 10.0)
+        amp_reflect = abs(self.ground_reflection_coeff) * (
+            lam / (4.0 * math.pi * d_reflect)
+        )
+        amp = amp_direct + amp_reflect
+        return linear_to_db(amp * amp) - excess_db
+
 
 @dataclass(frozen=True)
 class ShadowingModel:
@@ -147,6 +187,24 @@ class RicianFading:
         sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
         re = los + rng.gauss(0.0, sigma)
         im = rng.gauss(0.0, sigma)
+        return re * re + im * im
+
+    def power_gain_from_normals(self, z1: float, z2: float) -> float:
+        """The :meth:`sample_power_gain` value for given unit normals.
+
+        ``z1``/``z2`` are standard-normal draws (``rng.gauss(0.0, 1.0)``
+        twice from a fresh stream). Splitting the draw from the K-factor
+        scaling lets the pass simulator cache the expensive part — the
+        seeded stream construction and its Gaussian pair — per fading
+        coherence cell, while still honouring a per-evaluation K
+        penalty. Yields exactly the value ``sample_power_gain`` would
+        have produced from the same stream.
+        """
+        k = 10.0 ** (self.k_factor_db / 10.0)
+        los = math.sqrt(k / (k + 1.0))
+        sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
+        re = los + z1 * sigma
+        im = z2 * sigma
         return re * re + im * im
 
     def degraded(self, k_penalty_db: float) -> "RicianFading":

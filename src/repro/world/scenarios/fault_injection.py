@@ -40,7 +40,7 @@ from ...reader.wire import PolledInterface
 from ...sim.rng import SeedSequence
 from ..humans import HumanTagPlacement
 from ..portal import Portal, failover_portal, single_antenna_portal
-from ..simulation import PortalPassSimulator
+from ..simulation import CarrierGroup, PortalPassSimulator
 from .human_tracking import build_walk
 
 PAPER_REPETITIONS = 20
@@ -68,6 +68,70 @@ POLL_INTERVAL_S = 0.25
 #: A plan factory maps (seeds, trial, pass duration) to that trial's
 #: fault schedule (None = fault-free).
 PlanFactory = Callable[[SeedSequence, int, float], Optional[FaultPlan]]
+
+
+@dataclass(frozen=True)
+class NoFaultPlanFactory:
+    """Picklable plan factory for the fault-free baseline cells."""
+
+    def __call__(
+        self, seeds: SeedSequence, trial: int, duration: float
+    ) -> Optional[FaultPlan]:
+        return None
+
+
+@dataclass(frozen=True)
+class PrimaryCrashPlanFactory:
+    """Picklable plan factory: the canonical primary crash every trial."""
+
+    crash_fraction: float = DEFAULT_CRASH_FRACTION
+    restart_after_s: Optional[float] = DEFAULT_WATCHDOG_RESTART_S
+    reader_id: str = "reader-0"
+
+    def __call__(
+        self, seeds: SeedSequence, trial: int, duration: float
+    ) -> Optional[FaultPlan]:
+        return primary_crash_plan(
+            duration,
+            self.crash_fraction,
+            self.restart_after_s,
+            reader_id=self.reader_id,
+        )
+
+
+@dataclass(frozen=True)
+class SampledCrashPlanFactory:
+    """Picklable plan factory: each reader crashes with probability ``rate``.
+
+    Crash decisions come from a named per-trial stream, so a sweep
+    replays bit-for-bit from its seed regardless of worker count.
+    """
+
+    rate: float
+    crash_fraction: float = DEFAULT_CRASH_FRACTION
+    restart_after_s: Optional[float] = DEFAULT_WATCHDOG_RESTART_S
+    reader_ids: Tuple[str, ...] = ("reader-0", "reader-1")
+
+    def __call__(
+        self, seeds: SeedSequence, trial: int, duration: float
+    ) -> Optional[FaultPlan]:
+        if self.rate == 0.0:
+            return None
+        stream = seeds.trial_stream(f"faultplan:rate={self.rate!r}", trial)
+        crashes = []
+        for reader_id in self.reader_ids:
+            if stream.bernoulli(self.rate):
+                crashes.extend(
+                    primary_crash_plan(
+                        duration,
+                        self.crash_fraction,
+                        self.restart_after_s,
+                        reader_id=reader_id,
+                    ).crashes
+                )
+        if not crashes:
+            return None
+        return FaultPlan(crashes=tuple(crashes))
 
 
 @dataclass(frozen=True)
@@ -223,6 +287,45 @@ def run_supervised_pass(
     )
 
 
+@dataclass(frozen=True)
+class SupervisedPassTask:
+    """Picklable trial callable: one pass through the supervised stack.
+
+    The parallel-capable counterpart of the per-cell closure around
+    :func:`run_supervised_pass` — every field is a plain dataclass (the
+    plan factories above replace the original lambdas), so the whole
+    cell ships to worker processes and fans out with bit-identical
+    outcomes.
+    """
+
+    simulator: PortalPassSimulator
+    portal: Portal
+    carriers: Tuple[CarrierGroup, ...]
+    registry: ObjectRegistry
+    object_id: str
+    plan_factory: PlanFactory
+    pass_duration_s: float
+    policy: Optional[RetryPolicy] = None
+    poll_interval_s: float = POLL_INTERVAL_S
+
+    def __call__(
+        self, seeds: SeedSequence, trial: int
+    ) -> SupervisedTrialOutcome:
+        plan = self.plan_factory(seeds, trial, self.pass_duration_s)
+        return run_supervised_pass(
+            self.simulator,
+            self.portal,
+            list(self.carriers),
+            self.registry,
+            self.object_id,
+            seeds,
+            trial,
+            plan,
+            policy=self.policy,
+            poll_interval_s=self.poll_interval_s,
+        )
+
+
 def _measure_config(
     portal: Portal,
     label: str,
@@ -232,6 +335,7 @@ def _measure_config(
     seed: int,
     poll_interval_s: float = POLL_INTERVAL_S,
     stream_label: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> ConfigOutcome:
     """Measure one (portal, fault plan) cell.
 
@@ -252,26 +356,22 @@ def _measure_config(
     registry = ObjectRegistry()
     registry.register(TrackedObject("subject-0", frozenset({epc})))
     duration = carrier.motion.duration_s
-
-    def trial_fn(seeds: SeedSequence, trial: int) -> SupervisedTrialOutcome:
-        plan = plan_factory(seeds, trial, duration)
-        return run_supervised_pass(
-            simulator,
-            portal,
-            [carrier],
-            registry,
-            "subject-0",
-            seeds,
-            trial,
-            plan,
-            poll_interval_s=poll_interval_s,
-        )
-
+    task = SupervisedPassTask(
+        simulator=simulator,
+        portal=portal,
+        carriers=(carrier,),
+        registry=registry,
+        object_id="subject-0",
+        plan_factory=plan_factory,
+        pass_duration_s=duration,
+        poll_interval_s=poll_interval_s,
+    )
     trials = run_trials(
         label,
-        trial_fn,
+        task,
         repetitions,
         seed=seed ^ stable_hash(stream_label or label),
+        workers=workers,
     )
     return ConfigOutcome(
         label=label,
@@ -286,6 +386,7 @@ def run_fault_injection_experiment(
     restart_after_s: Optional[float] = DEFAULT_WATCHDOG_RESTART_S,
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> FaultInjectionResult:
     """Kill the primary mid-pass; compare one reader vs a failover pair.
 
@@ -295,9 +396,9 @@ def run_fault_injection_experiment(
     running its own Gen 2 session so the standby's inventory survives
     the primary's death.
     """
-    no_faults: PlanFactory = lambda seeds, trial, duration: None
-    crash: PlanFactory = lambda seeds, trial, duration: primary_crash_plan(
-        duration, crash_fraction, restart_after_s
+    no_faults: PlanFactory = NoFaultPlanFactory()
+    crash: PlanFactory = PrimaryCrashPlanFactory(
+        crash_fraction=crash_fraction, restart_after_s=restart_after_s
     )
     single = single_antenna_portal()
     pair = failover_portal()
@@ -305,18 +406,22 @@ def run_fault_injection_experiment(
         single_fault_free=_measure_config(
             single, "faults:single-clean", no_faults, placement,
             repetitions, seed, stream_label="faults:single",
+            workers=workers,
         ),
         single_crash=_measure_config(
             single, "faults:single-crash", crash, placement,
             repetitions, seed, stream_label="faults:single",
+            workers=workers,
         ),
         failover_fault_free=_measure_config(
             pair, "faults:failover-clean", no_faults, placement,
             repetitions, seed, stream_label="faults:failover",
+            workers=workers,
         ),
         failover_crash=_measure_config(
             pair, "faults:failover-crash", crash, placement,
             repetitions, seed, stream_label="faults:failover",
+            workers=workers,
         ),
     )
 
@@ -328,6 +433,7 @@ def run_fault_rate_sweep(
     restart_after_s: Optional[float] = DEFAULT_WATCHDOG_RESTART_S,
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> Dict[float, Tuple[ConfigOutcome, ConfigOutcome]]:
     """Tracking reliability vs per-pass crash probability, 1 vs 2 readers.
 
@@ -344,27 +450,11 @@ def run_fault_rate_sweep(
         if not 0.0 <= rate <= 1.0:
             raise ValueError(f"fault rate must be in [0, 1], got {rate!r}")
 
-        def sampled(
-            seeds: SeedSequence, trial: int, duration: float, _rate=rate
-        ) -> Optional[FaultPlan]:
-            if _rate == 0.0:
-                return None
-            stream = seeds.trial_stream(f"faultplan:rate={_rate!r}", trial)
-            crashes = []
-            for reader_id in ("reader-0", "reader-1"):
-                if stream.bernoulli(_rate):
-                    crashes.extend(
-                        primary_crash_plan(
-                            duration,
-                            crash_fraction,
-                            restart_after_s,
-                            reader_id=reader_id,
-                        ).crashes
-                    )
-            if not crashes:
-                return None
-            return FaultPlan(crashes=tuple(crashes))
-
+        sampled = SampledCrashPlanFactory(
+            rate=rate,
+            crash_fraction=crash_fraction,
+            restart_after_s=restart_after_s,
+        )
         single = _measure_config(
             single_antenna_portal(),
             f"faults:sweep-single:rate={rate:g}",
@@ -373,6 +463,7 @@ def run_fault_rate_sweep(
             repetitions,
             seed,
             stream_label="faults:single",
+            workers=workers,
         )
         failover = _measure_config(
             failover_portal(),
@@ -382,6 +473,7 @@ def run_fault_rate_sweep(
             repetitions,
             seed,
             stream_label="faults:failover",
+            workers=workers,
         )
         results[rate] = (single, failover)
     return results

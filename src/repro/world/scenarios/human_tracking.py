@@ -17,14 +17,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
+from ...core.parallel import PassTrialTask
 from ...core.redundancy import combined_reliability
 from ...core.reliability import ReliabilityEstimate, tracking_success
 from ...protocol.epc import EpcFactory
-from ...sim.rng import SeedSequence
 from ..humans import Human, HumanTagPlacement, two_abreast
 from ..motion import LinearPass
 from ..portal import Portal, dual_antenna_portal, single_antenna_portal
-from ..simulation import CarrierGroup, Occluder, PassResult, PortalPassSimulator
+from ..simulation import CarrierGroup, Occluder, PortalPassSimulator
 
 PAPER_REPETITIONS = 20
 
@@ -114,6 +114,7 @@ def run_table2_experiment(
     ),
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> Dict[str, HumanPlacementResult]:
     """Reproduce Table 2: per-placement read reliability, 1 and 2 subjects.
 
@@ -127,15 +128,12 @@ def run_table2_experiment(
         # One subject.
         carrier1, humans1 = build_walk(1, [placement])
         epc1 = humans1[0].tags[0].epc
-
-        def trial1(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier1], seeds, index)
-
         set1 = run_trials(
             f"table2:one:{placement}",
-            trial1,
+            PassTrialTask(simulator=sim, carriers=(carrier1,)),
             repetitions,
             seed=seed ^ stable_hash("one:" + placement),
+            workers=workers,
         )
         one = set1.success_estimate(lambda r: epc1 in r.read_epcs)
 
@@ -143,15 +141,12 @@ def run_table2_experiment(
         carrier2, humans2 = build_walk(2, [placement])
         closer_epc = humans2[0].tags[0].epc
         farther_epc = humans2[1].tags[0].epc
-
-        def trial2(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier2], seeds, index)
-
         set2 = run_trials(
             f"table2:two:{placement}",
-            trial2,
+            PassTrialTask(simulator=sim, carriers=(carrier2,)),
             repetitions,
             seed=seed ^ stable_hash("two:" + placement),
+            workers=workers,
         )
         closer = set2.success_estimate(lambda r: closer_epc in r.read_epcs)
         farther = set2.success_estimate(lambda r: farther_epc in r.read_epcs)
@@ -193,6 +188,7 @@ def run_human_redundancy_experiment(
     single_opportunity: Dict[str, float],
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> List[HumanRedundancyOutcome]:
     """Tables 4 and 5: tag- and antenna-level redundancy for people.
 
@@ -213,15 +209,12 @@ def run_human_redundancy_experiment(
         person_epcs = {
             h.person_id: [t.epc for t in h.tags] for h in humans
         }
-
-        def trial(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier], seeds, index)
-
         trial_set = run_trials(
             f"human-redundancy:{case.name}",
-            trial,
+            PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(case.name),
+            workers=workers,
         )
         measured: Dict[str, ReliabilityEstimate] = {}
         for person_id, epcs in person_epcs.items():

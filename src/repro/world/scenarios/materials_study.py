@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
+from ...core.parallel import PassTrialTask
 from ...core.reliability import ReliabilityEstimate
 from ...protocol.epc import EpcFactory
 from ...rf.materials import CARDBOARD, LIQUID, METAL, Material
@@ -100,6 +101,7 @@ def run_materials_study(
     cases: Sequence[str] = tuple(MATERIAL_CASES),
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> MaterialStudyResult:
     """Measure per-material tag read reliability on the conveyor pass."""
     from ...core.calibration import PaperSetup
@@ -113,9 +115,10 @@ def run_materials_study(
         carrier, epcs = build_material_cart(case)
         trials = run_trials(
             f"materials:{case}",
-            lambda seeds, i: simulator.run_pass([carrier], seeds, i),
+            PassTrialTask(simulator=simulator, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(f"materials:{case}"),
+            workers=workers,
         )
         successes = sum(o.tags_read(epcs) for o in trials.outcomes)
         rates[case] = ReliabilityEstimate(

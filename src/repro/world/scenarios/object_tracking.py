@@ -18,14 +18,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
+from ...core.parallel import PassTrialTask
 from ...core.redundancy import combined_reliability
 from ...core.reliability import ReliabilityEstimate, tracking_success
 from ...protocol.epc import EpcFactory
-from ...sim.rng import SeedSequence
 from ..motion import LinearPass
 from ..objects import BoxFace, TaggedBox, cart_of_boxes
 from ..portal import Portal, dual_antenna_portal, single_antenna_portal
-from ..simulation import CarrierGroup, Occluder, PassResult, PortalPassSimulator
+from ..simulation import CarrierGroup, Occluder, PortalPassSimulator
 
 PAPER_BOX_COUNT = 12
 PAPER_REPETITIONS = 12
@@ -127,6 +127,7 @@ def run_table1_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     simulator: Optional[PortalPassSimulator] = None,
+    workers: Optional[int] = None,
 ) -> Dict[BoxFace, ReliabilityEstimate]:
     """Reproduce Table 1: per-location tag read reliability.
 
@@ -139,15 +140,12 @@ def run_table1_experiment(
     for face in locations:
         carrier, boxes = build_box_cart([face])
         epcs = [t.epc for t in carrier.tags]
-
-        def trial(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier], seeds, index)
-
         trial_set = run_trials(
             f"table1:{face.value}",
-            trial,
+            PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(face.value),
+            workers=workers,
         )
         successes = 0
         for outcome in trial_set.outcomes:
@@ -196,6 +194,7 @@ def run_object_redundancy_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     single_opportunity: Optional[Dict[BoxFace, float]] = None,
+    workers: Optional[int] = None,
 ) -> List[RedundancyOutcome]:
     """Reproduce Table 3 / Figure 5: redundancy for object tracking.
 
@@ -206,7 +205,9 @@ def run_object_redundancy_experiment(
     in Section 3").
     """
     if single_opportunity is None:
-        table1 = run_table1_experiment(repetitions=repetitions, seed=seed)
+        table1 = run_table1_experiment(
+            repetitions=repetitions, seed=seed, workers=workers
+        )
         single_opportunity = {face: est.rate for face, est in table1.items()}
 
     outcomes: List[RedundancyOutcome] = []
@@ -221,15 +222,12 @@ def run_object_redundancy_experiment(
         box_epcs: List[List[str]] = [
             [tag.epc for tag in box.all_tags()] for box in boxes
         ]
-
-        def trial(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier], seeds, index)
-
         trial_set = run_trials(
             f"table3:{case.name}",
-            trial,
+            PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(case.name),
+            workers=workers,
         )
         successes = 0
         trials = 0

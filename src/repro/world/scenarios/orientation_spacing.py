@@ -14,16 +14,16 @@ couple fully at small spacings.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ...core.experiment import DEFAULT_SEED, run_trials
+from ...core.parallel import PassTrialTask
 from ...core.reliability import CountDistribution
 from ...protocol.epc import EpcFactory
 from ...rf.geometry import Vec3
-from ...sim.rng import SeedSequence
 from ..motion import LinearPass
 from ..portal import single_antenna_portal
-from ..simulation import CarrierGroup, PassResult, PortalPassSimulator
+from ..simulation import CarrierGroup, PortalPassSimulator
 from ..tags import ALL_ORIENTATIONS, Tag, TagOrientation
 
 PAPER_SPACINGS_M = (0.0003, 0.004, 0.010, 0.020, 0.040)
@@ -87,6 +87,7 @@ def run_orientation_spacing_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     simulator: PortalPassSimulator = None,
+    workers: Optional[int] = None,
 ) -> Dict[Tuple[int, float], OrientationSpacingPoint]:
     """Reproduce Figure 4: the full orientation x spacing grid.
 
@@ -105,17 +106,14 @@ def run_orientation_spacing_experiment(
         for spacing in spacings_m:
             carrier = build_tag_row(spacing, orientation)
             epcs = [t.epc for t in carrier.tags]
-
-            def trial(seeds: SeedSequence, index: int) -> PassResult:
-                return sim.run_pass([carrier], seeds, index)
-
             trial_set = run_trials(
                 f"fig4:case{orientation.case_number}@{spacing * 1000:.1f}mm",
-                trial,
+                PassTrialTask(simulator=sim, carriers=(carrier,)),
                 repetitions,
                 seed=seed
                 ^ (orientation.case_number * 7919)
                 ^ int(spacing * 1e6),
+                workers=workers,
             )
             distribution = trial_set.count_distribution(
                 lambda r: r.tags_read(epcs), total=len(epcs)

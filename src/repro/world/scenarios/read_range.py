@@ -9,16 +9,16 @@ repeated 40 times per distance from 1 m to 10 m.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ...core.experiment import DEFAULT_SEED, run_trials
+from ...core.parallel import PassTrialTask
 from ...core.reliability import CountDistribution
 from ...protocol.epc import EpcFactory
 from ...rf.geometry import Vec3
-from ...sim.rng import SeedSequence
 from ..motion import StationaryPlacement
 from ..portal import single_antenna_portal
-from ..simulation import CarrierGroup, PassResult, PortalPassSimulator
+from ..simulation import CarrierGroup, PortalPassSimulator
 from ..tags import Tag, TagOrientation
 
 #: The paper's grid: 20 tags, 5 columns x 4 rows.
@@ -81,6 +81,7 @@ def run_read_range_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     simulator: PortalPassSimulator = None,
+    workers: Optional[int] = None,
 ) -> Dict[float, ReadRangePoint]:
     """Reproduce Figure 2: mean (and quartiles) of tags read per distance."""
     from ...core.calibration import PaperSetup
@@ -95,15 +96,12 @@ def run_read_range_experiment(
     for distance in distances_m:
         carrier = build_tag_plane(distance)
         epcs = [t.epc for t in carrier.tags]
-
-        def trial(seeds: SeedSequence, index: int) -> PassResult:
-            return sim.run_pass([carrier], seeds, index)
-
         trial_set = run_trials(
             f"read-range@{distance}m",
-            trial,
+            PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ int(distance * 1000),
+            workers=workers,
         )
         distribution = trial_set.count_distribution(
             lambda r: r.tags_read(epcs), total=len(epcs)

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
+from ...core.parallel import PassTrialTask
 from ...core.reliability import ReliabilityEstimate
 from ..humans import HumanTagPlacement
 from ..portal import Portal, dual_reader_portal, single_antenna_portal
@@ -53,6 +54,7 @@ def _measure(
     placement: str,
     repetitions: int,
     seed: int,
+    workers: Optional[int] = None,
 ) -> ReliabilityEstimate:
     from ...core.calibration import PaperSetup
 
@@ -64,9 +66,10 @@ def _measure(
     epc = humans[0].tags[0].epc
     trials = run_trials(
         label,
-        lambda seeds, i: simulator.run_pass([carrier], seeds, i),
+        PassTrialTask(simulator=simulator, carriers=(carrier,)),
         repetitions,
         seed=seed ^ stable_hash(label),
+        workers=workers,
     )
     return trials.success_estimate(lambda r: epc in r.read_epcs)
 
@@ -75,12 +78,13 @@ def run_reader_redundancy_experiment(
     placement: str = HumanTagPlacement.FRONT,
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
+    workers: Optional[int] = None,
 ) -> ReaderRedundancyResult:
     """Measure the three portal builds on the same walking workload."""
     return ReaderRedundancyResult(
         single_reader=_measure(
             single_antenna_portal(), "reader-red:single", placement,
-            repetitions, seed,
+            repetitions, seed, workers=workers,
         ),
         dual_no_drm=_measure(
             dual_reader_portal(dense_reader_mode=False),
@@ -88,6 +92,7 @@ def run_reader_redundancy_experiment(
             placement,
             repetitions,
             seed,
+            workers=workers,
         ),
         dual_with_drm=_measure(
             dual_reader_portal(dense_reader_mode=True),
@@ -95,5 +100,6 @@ def run_reader_redundancy_experiment(
             placement,
             repetitions,
             seed,
+            workers=workers,
         ),
     )

@@ -54,7 +54,15 @@ from ..protocol.timing import DEFAULT_TIMING, Gen2Timing
 from ..rf.coupling import CouplingModel
 from ..rf.geometry import Vec3, segment_sphere_chord_length
 from ..rf.units import sum_powers_dbm
-from ..rf.link import LinkEnvironment, LinkGeometry, LinkResult, evaluate_link
+from ..rf.link import (
+    LinkEnvironment,
+    LinkGeometry,
+    LinkResult,
+    LinkTerms,
+    compose_link,
+    compute_link_terms,
+    evaluate_link,
+)
 from ..rf.materials import Material
 from ..sim.events import TagReadEvent
 from ..sim.rng import SeedSequence
@@ -64,6 +72,80 @@ from .portal import AntennaInstallation, Portal, ReaderAssignment
 from .tags import Tag
 
 Motion = Union[LinearPass, StationaryPlacement]
+
+#: Head-room the forward-link short-circuit allows for small-scale
+#: fading before declaring a tag un-energizable. A +20 dB fade is a
+#: linear power gain of 100; for any Rician K the unit-mean envelope
+#: needs a >14-sigma Gaussian pair to reach it, which a seeded PRNG
+#: will not produce in the lifetime of the universe. When even this
+#: head-room cannot close the forward budget, the fading draw and the
+#: full link composition are skipped for the round.
+MAX_FADING_HEADROOM_DB = 20.0
+
+
+class PassLinkCache:
+    """Per-pass memo of the link-budget terms that do not change per round.
+
+    ``_run_reader_timeline`` consults the link budget for every
+    (candidate tag, inventory round) pair — hundreds of evaluations per
+    pass, most of which recompute values that are pinned for the whole
+    pass or for the current dwell geometry:
+
+    * **geometry** — antenna pattern gain, tag pattern gain,
+      polarization loss, deterministic path gain, and occluder chords,
+      keyed by ``(antenna_id, epc, tag world position)``. Exact float
+      positions are used (not quantized), so a hit replays terms that
+      are *bit-identical* to recomputation; stationary placements hit on
+      every round after the first, moving passes hit whenever two rounds
+      sample the same position (and still dedup the double obstruction
+      evaluation within a round).
+    * **fading normals** — the standard-normal pair behind each Rician
+      draw, keyed by ``(reader_id, antenna_id, epc, coherence cell)``.
+      The serial simulator derives a fresh seeded stream from exactly
+      that tuple every round, so within one coherence cell the draw is
+      the same pair of normals each time; caching them skips the
+      sha256-based stream construction while the K-factor penalty is
+      still applied per round (obstruction may vary).
+
+    One cache covers one :meth:`PortalPassSimulator.run_pass` call (all
+    readers — geometry terms are reader-independent, so a mux takeover
+    re-uses the owning reader's entries). Counters feed
+    ``PortalPassSimulator._last_cache_stats`` and the bench harness.
+    """
+
+    __slots__ = (
+        "geometry",
+        "fading_normals",
+        "geometry_hits",
+        "geometry_misses",
+        "fading_hits",
+        "fading_misses",
+        "short_circuits",
+    )
+
+    def __init__(self) -> None:
+        self.geometry: Dict[
+            Tuple[str, str, float, float, float],
+            Tuple[LinkTerms, float, bool],
+        ] = {}
+        self.fading_normals: Dict[
+            Tuple[str, str, str, int, int, int], Tuple[float, float]
+        ] = {}
+        self.geometry_hits = 0
+        self.geometry_misses = 0
+        self.fading_hits = 0
+        self.fading_misses = 0
+        self.short_circuits = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot (plain dict, safe to pickle/serialise)."""
+        return {
+            "geometry_hits": self.geometry_hits,
+            "geometry_misses": self.geometry_misses,
+            "fading_hits": self.fading_hits,
+            "fading_misses": self.fading_misses,
+            "short_circuits": self.short_circuits,
+        }
 
 
 @dataclass(frozen=True)
@@ -185,11 +267,19 @@ class PortalPassSimulator:
         env: Optional[LinkEnvironment] = None,
         params: Optional[SimulationParameters] = None,
         timing: Gen2Timing = DEFAULT_TIMING,
+        use_link_cache: bool = True,
     ) -> None:
         self.portal = portal
         self.env = env if env is not None else LinkEnvironment()
         self.params = params if params is not None else SimulationParameters()
         self.timing = timing
+        #: The per-pass link cache is bit-identical to direct evaluation
+        #: (see :class:`PassLinkCache`); the flag exists for the parity
+        #: tests and for A/B benchmarking, not because results differ.
+        self.use_link_cache = use_link_cache
+        #: Counter snapshot from the most recent :meth:`run_pass`;
+        #: ``None`` before the first pass or when the cache is disabled.
+        self._last_cache_stats: Optional[Dict[str, int]] = None
 
     # -- physics ---------------------------------------------------------
 
@@ -301,6 +391,116 @@ class PortalPassSimulator:
             tag_gain_override_dbi=tag_gain_override,
         )
 
+    def _evaluate_tag_cached(
+        self,
+        cache: PassLinkCache,
+        carriers: Sequence[CarrierGroup],
+        carrier: CarrierGroup,
+        tag: Tag,
+        antenna: AntennaInstallation,
+        reader: ReaderAssignment,
+        t: float,
+        shadowing_db: float,
+        detuning_db: float,
+        coupling_db: float,
+        interference_dbm: Optional[float],
+        fault_loss_db: float,
+        seeds: SeedSequence,
+        trial: int,
+    ) -> Optional[LinkResult]:
+        """Cache-assisted equivalent of the per-round link evaluation.
+
+        Returns ``None`` when the forward link cannot close under any
+        plausible fading draw (see :data:`MAX_FADING_HEADROOM_DB`): the
+        tag is not energized, so the caller can report a dead
+        :class:`~repro.protocol.gen2.TagChannel` without drawing fading
+        or composing the budget. Otherwise the returned
+        :class:`LinkResult` is bit-identical to what the uncached path
+        produces for the same round.
+        """
+        tag_pos = carrier.tag_world_position(tag, t)
+        geo_key = (antenna.antenna_id, tag.epc, tag_pos.x, tag_pos.y, tag_pos.z)
+        entry = cache.geometry.get(geo_key)
+        if entry is None:
+            cache.geometry_misses += 1
+            obstruction_db, reflector = self._obstruction_db(
+                carriers, antenna.position, tag_pos, t
+            )
+            geometry = LinkGeometry(
+                antenna_position=antenna.position,
+                antenna_boresight=antenna.boresight,
+                tag_position=tag_pos,
+                tag_axis=tag.world_dipole_axis(),
+            )
+            tag_gain_override = None
+            if tag.design is not None:
+                tag_gain_override = tag.pattern_gain_dbi(-geometry.direction)
+            terms = compute_link_terms(self.env, geometry, tag_gain_override)
+            entry = (terms, obstruction_db, reflector)
+            cache.geometry[geo_key] = entry
+        else:
+            cache.geometry_hits += 1
+        terms, obstruction_db, reflector = entry
+        gain_bonus = self.params.reflection_gain_db if reflector else 0.0
+        tx_power = reader.tx_power_dbm + gain_bonus - fault_loss_db
+        # Forward budget with the fading term left out: if even a +20 dB
+        # fade cannot wake the chip, skip the draw and the composition.
+        forward_no_fade = (
+            tx_power
+            - self.env.cable_loss_db
+            + terms.reader_gain_dbi
+            + (terms.path_gain_db + shadowing_db)
+            + terms.tag_gain_dbi
+            - terms.polarization_loss_db
+            - (obstruction_db + detuning_db + coupling_db)
+        )
+        if forward_no_fade + MAX_FADING_HEADROOM_DB < self.env.tag_sensitivity_dbm:
+            cache.short_circuits += 1
+            return None
+        obstructed_k_penalty = (
+            obstruction_db * self.params.k_penalty_per_obstruction_db
+        )
+        cell = self.params.fading_coherence_m
+        bin_key = (
+            int(tag_pos.x // cell),
+            int(tag_pos.y // cell),
+            int(tag_pos.z // cell),
+        )
+        fading_key = (
+            reader.reader_id,
+            antenna.antenna_id,
+            tag.epc,
+            bin_key[0],
+            bin_key[1],
+            bin_key[2],
+        )
+        normals = cache.fading_normals.get(fading_key)
+        if normals is None:
+            cache.fading_misses += 1
+            fading_rng = seeds.trial_stream(
+                f"fading:{reader.reader_id}:{antenna.antenna_id}:{tag.epc}:"
+                f"{bin_key[0]}:{bin_key[1]}:{bin_key[2]}",
+                trial,
+            )
+            normals = (fading_rng.gauss(0.0, 1.0), fading_rng.gauss(0.0, 1.0))
+            cache.fading_normals[fading_key] = normals
+        else:
+            cache.fading_hits += 1
+        fading_gain = self.env.channel.fading.degraded(
+            obstructed_k_penalty
+        ).power_gain_from_normals(normals[0], normals[1])
+        return compose_link(
+            self.env,
+            tx_power,
+            terms,
+            obstruction_loss_db=obstruction_db,
+            tag_detuning_db=detuning_db,
+            coupling_penalty_db=coupling_db,
+            shadowing_db=shadowing_db,
+            fading_power_gain=fading_gain,
+            interference_dbm=interference_dbm,
+        )
+
     def _decode_probability(self, result: LinkResult) -> float:
         """Map the reverse margin to a per-reply decode probability."""
         if not result.activated:
@@ -355,10 +555,13 @@ class PortalPassSimulator:
         population = list(epc_index.keys())
         duration = max(c.motion.duration_s for c in carriers)
 
-        # Static per-tag coupling penalties.
+        # Static per-tag coupling and mount-detuning penalties.
         coupling_db: Dict[str, float] = {
             tag.epc: self._coupling_db(carriers, carrier, tag)
             for carrier, tag in all_tags
+        }
+        detuning_db: Dict[str, float] = {
+            tag.epc: tag.detuning_db() for _, tag in all_tags
         }
         # Per-trial static fade per (tag, antenna) link: environment
         # shadowing (independent per antenna — different sight lines
@@ -389,6 +592,7 @@ class PortalPassSimulator:
         trace = ReadTrace()
         total_rounds = 0
         interference_rng = seeds.trial_stream("interference", trial)
+        cache = PassLinkCache() if self.use_link_cache else None
 
         # Each reader runs its own inventory timeline; simultaneous
         # readers interfere but do not share airtime. Traces merge at
@@ -401,15 +605,18 @@ class PortalPassSimulator:
                 epc_index,
                 population,
                 coupling_db,
+                detuning_db,
                 shadowing,
                 seeds,
                 trial,
                 duration,
                 interference_rng,
                 fault_plan,
+                cache,
             )
             reader_traces.append(events)
             total_rounds += rounds
+        self._last_cache_stats = cache.stats() if cache is not None else None
 
         merged = sorted(
             (e for events in reader_traces for e in events), key=lambda e: e.time
@@ -440,12 +647,14 @@ class PortalPassSimulator:
         epc_index: Dict[str, Tuple[CarrierGroup, Tag]],
         population: List[str],
         coupling_db: Dict[str, float],
+        detuning_db: Dict[str, float],
         shadowing: Dict[Tuple[str, str], float],
         seeds: SeedSequence,
         trial: int,
         duration: float,
         interference_rng,
         fault_plan: Optional["FaultPlan"] = None,
+        cache: Optional[PassLinkCache] = None,
     ) -> Tuple[List[TagReadEvent], int]:
         """One reader's full pass: TDMA over its antennas, round after round."""
         protocol_rng = seeds.trial_stream(f"protocol:{reader.reader_id}", trial)
@@ -454,12 +663,13 @@ class PortalPassSimulator:
         events: List[TagReadEvent] = []
         rounds = 0
         t = 0.0
-        antennas = list(reader.antennas)
+        antennas = tuple(reader.antennas)
         other_radios = self._other_radios(reader)
         restarts = (
             [] if fault_plan is None
             else [c.down_until for c in fault_plan.crash_restarts(reader.reader_id)]
         )
+        restart_cursor = 0
         # RF-mux takeover windows: [start + detection delay, end) slices
         # of another reader's outage during which its orphaned antennas
         # are rerouted to this reader.
@@ -477,27 +687,34 @@ class PortalPassSimulator:
                     if start + delay < end:
                         takeovers.append((backup, start + delay, end))
 
+        # Takeover windows open and close a handful of times per pass at
+        # most, so the active-antenna tuple is rebuilt only when the
+        # liveness mask changes instead of being re-allocated per dwell.
+        takeover_mask: Optional[Tuple[bool, ...]] = None
+        active: Tuple[AntennaInstallation, ...] = antennas
+
         while t < duration:
             # A power-cycled reader comes back with a fresh inventory
             # session: its carrier dropped, so the tags' S0 flags (and,
             # over a seconds-long reboot, S1 persistence) lapse, and
             # previously read tags answer again.
-            while restarts and t >= restarts[0]:
+            while restart_cursor < len(restarts) and t >= restarts[restart_cursor]:
                 session.reset()
-                restarts.pop(0)
+                restart_cursor += 1
             if fault_plan is not None and fault_plan.reader_down(
                 reader.reader_id, t
             ):
                 # Crashed or hung: no inventory, no airtime, no reads.
                 t += self.params.tdma_slot_s
                 continue
-            active = antennas
             if takeovers:
-                inherited = [
-                    a for (a, start, end) in takeovers if start <= t < end
-                ]
-                if inherited:
-                    active = antennas + inherited
+                mask = tuple(start <= t < end for (_, start, end) in takeovers)
+                if mask != takeover_mask:
+                    takeover_mask = mask
+                    inherited = tuple(
+                        a for (a, _, _), live in zip(takeovers, mask) if live
+                    )
+                    active = antennas + inherited if inherited else antennas
             antenna = active[
                 int(t / self.params.tdma_slot_s) % len(active)
             ]
@@ -534,6 +751,33 @@ class PortalPassSimulator:
 
             def channel(epc: str) -> TagChannel:
                 carrier, tag = epc_index[epc]
+                if cache is not None:
+                    result = self._evaluate_tag_cached(
+                        cache,
+                        carriers,
+                        carrier,
+                        tag,
+                        antenna,
+                        reader,
+                        t,
+                        shadowing[(epc, antenna.antenna_id)],
+                        detuning_db[epc],
+                        coupling_db[epc],
+                        interference,
+                        fault_loss_db,
+                        seeds,
+                        trial,
+                    )
+                    if result is None:
+                        # Forward link provably cannot close this round;
+                        # an un-energized tag never replies, so nothing
+                        # downstream consumes a LinkResult for it.
+                        return TagChannel(energized=False, reply_decode_p=0.0)
+                    last_result[epc] = result
+                    return TagChannel(
+                        energized=result.activated,
+                        reply_decode_p=self._decode_probability(result),
+                    )
                 fading = self.env.channel.fading
                 # Evaluate obstruction first (it degrades the K-factor),
                 # then draw fading from the degraded channel. The draw is

@@ -81,3 +81,23 @@ class TestSweep:
         a = sweep(str, [1.0], factory, 3, seed=9)
         b = sweep(str, [1.0], factory, 3, seed=9)
         assert a[1.0].outcomes == b[1.0].outcomes
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError, match="collide"):
+            sweep(str, [1.0, 1.0], lambda v: (lambda s, i: i), 2)
+
+    def test_values_colliding_after_rounding_rejected(self):
+        # These differ in the 10th decimal: round(value, 9) folds them
+        # onto the same sweep key, which used to silently overwrite the
+        # first point's results.
+        with pytest.raises(ValueError, match="collide"):
+            sweep(
+                str,
+                [1.0000000001, 1.0000000002],
+                lambda v: (lambda s, i: i),
+                2,
+            )
+
+    def test_distinct_values_still_accepted(self):
+        results = sweep(str, [1.0, 1.001], lambda v: (lambda s, i: v), 1)
+        assert set(results) == {1.0, 1.001}

@@ -1,0 +1,98 @@
+"""Regression tests: the fast read-range search vs the linear scan.
+
+The envelope-bisect search must return *exactly* what the exhaustive
+grid scan returns — same grid, same answer — across two-ray ripple,
+clutter exponents, power levels and step sizes.
+"""
+
+import math
+
+import pytest
+
+from repro.rf.link import (
+    LinkEnvironment,
+    _linear_scan_read_range_m,
+    free_space_read_range_m,
+)
+from repro.rf.propagation import ChannelModel, PathLossModel
+
+
+def _env(use_two_ray: bool, exponent: float = 2.0) -> LinkEnvironment:
+    return LinkEnvironment(
+        channel=ChannelModel(
+            path_loss=PathLossModel(
+                use_two_ray=use_two_ray, path_loss_exponent=exponent
+            )
+        )
+    )
+
+
+class TestSearchEqualsLinearScan:
+    @pytest.mark.parametrize("use_two_ray", [False, True])
+    @pytest.mark.parametrize("exponent", [2.0, 2.4, 2.8])
+    @pytest.mark.parametrize("tx_power_dbm", [20.0, 27.0, 30.0, 33.0])
+    def test_same_answer_to_step_resolution(
+        self, use_two_ray, exponent, tx_power_dbm
+    ):
+        env = _env(use_two_ray, exponent)
+        fast = free_space_read_range_m(env, tx_power_dbm, step_m=0.05)
+        slow = _linear_scan_read_range_m(env, tx_power_dbm, step_m=0.05)
+        assert fast == slow
+
+    @pytest.mark.parametrize("step_m", [0.01, 0.02, 0.1])
+    def test_step_sizes(self, step_m):
+        env = _env(True)
+        assert free_space_read_range_m(
+            env, 30.0, step_m=step_m
+        ) == _linear_scan_read_range_m(env, 30.0, step_m=step_m)
+
+    def test_fine_default_step_two_ray(self):
+        # The exact configuration the calibration pins exercise.
+        env = _env(True)
+        fast = free_space_read_range_m(env, 30.0, step_m=0.01)
+        slow = _linear_scan_read_range_m(env, 30.0, step_m=0.01)
+        assert fast == slow
+        assert 2.0 < fast < 15.0
+
+    def test_unreachable_power_returns_zero(self):
+        env = _env(True)
+        assert free_space_read_range_m(env, -40.0) == 0.0
+        assert _linear_scan_read_range_m(env, -40.0, step_m=0.1) == 0.0
+
+    def test_range_capped_by_max_range(self):
+        env = _env(False)
+        fast = free_space_read_range_m(env, 36.0, step_m=0.5, max_range_m=3.0)
+        slow = _linear_scan_read_range_m(env, 36.0, step_m=0.5, max_range_m=3.0)
+        assert fast == slow
+        assert fast <= 3.0
+
+    def test_invalid_step_rejected(self):
+        env = _env(False)
+        with pytest.raises(ValueError):
+            free_space_read_range_m(env, 30.0, step_m=0.0)
+        with pytest.raises(ValueError):
+            _linear_scan_read_range_m(env, 30.0, step_m=-0.1)
+
+
+class TestEnvelopeBound:
+    @pytest.mark.parametrize("exponent", [2.0, 2.6])
+    def test_upper_bound_dominates_exact_gain(self, exponent):
+        model = PathLossModel(use_two_ray=True, path_loss_exponent=exponent)
+        for k in range(1, 300):
+            d = 0.05 * k
+            assert model.path_gain_upper_bound_db(d) >= model.path_gain_db(d)
+
+    def test_upper_bound_monotone_decreasing(self):
+        model = PathLossModel(use_two_ray=True)
+        gains = [model.path_gain_upper_bound_db(0.2 + 0.05 * k) for k in range(200)]
+        assert all(a >= b for a, b in zip(gains, gains[1:]))
+
+    def test_bound_equals_exact_without_two_ray(self):
+        model = PathLossModel(use_two_ray=False, path_loss_exponent=2.3)
+        for d in (0.5, 1.0, 3.0, 7.5):
+            assert math.isclose(
+                model.path_gain_upper_bound_db(d),
+                model.path_gain_db(d),
+                rel_tol=0.0,
+                abs_tol=0.0,
+            )

@@ -1,0 +1,113 @@
+"""The per-pass link cache must be invisible: bit-identical results.
+
+Every test runs the same seeded pass twice — cache on, cache off — and
+asserts the full :class:`PassResult` (trace, timings, coverage) is
+equal. The cache is a pure memo plus a provably-sound short-circuit,
+so any observable difference is a bug.
+"""
+
+from repro.core.calibration import PaperSetup
+from repro.faults import FaultPlan, ReaderCrash
+from repro.sim.rng import SeedSequence
+from repro.world.objects import BoxFace
+from repro.world.portal import (
+    dual_antenna_portal,
+    dual_reader_portal,
+    failover_portal,
+    single_antenna_portal,
+)
+from repro.world.scenarios.human_tracking import build_walk
+from repro.world.scenarios.object_tracking import build_box_cart
+from repro.world.scenarios.read_range import build_tag_plane
+from repro.world.simulation import PassLinkCache, PortalPassSimulator
+
+
+def _sim(portal, use_link_cache):
+    setup = PaperSetup()
+    return PortalPassSimulator(
+        portal=portal,
+        env=setup.env,
+        params=setup.params,
+        use_link_cache=use_link_cache,
+    )
+
+
+def _assert_parity(portal, carriers, trials=2, fault_plan=None):
+    cached = _sim(portal, True)
+    uncached = _sim(portal, False)
+    seeds = SeedSequence(20070625)
+    for trial in range(trials):
+        a = cached.run_pass(carriers, seeds, trial, fault_plan=fault_plan)
+        b = uncached.run_pass(carriers, seeds, trial, fault_plan=fault_plan)
+        assert a == b
+    assert cached._last_cache_stats is not None
+    assert uncached._last_cache_stats is None
+    return cached._last_cache_stats
+
+
+class TestCacheParity:
+    def test_moving_box_cart(self):
+        carrier, _ = build_box_cart([BoxFace.FRONT], box_count=4)
+        _assert_parity(single_antenna_portal(), [carrier])
+
+    def test_stationary_plane_hits_geometry_cache(self):
+        carrier = build_tag_plane(3.0)
+        stats = _assert_parity(single_antenna_portal(), [carrier], trials=1)
+        # A stationary carrier revisits the same position every round:
+        # after the first round every geometry lookup must hit.
+        assert stats["geometry_hits"] > 0
+
+    def test_occluded_walk(self):
+        carrier, _ = build_walk(2, ["front", "back"])
+        _assert_parity(single_antenna_portal(), [carrier])
+
+    def test_dual_antenna_portal(self):
+        carrier, _ = build_box_cart(
+            [BoxFace.FRONT, BoxFace.SIDE_CLOSER], box_count=2
+        )
+        _assert_parity(dual_antenna_portal(), [carrier])
+
+    def test_dual_reader_interference(self):
+        carrier, _ = build_walk(1, ["front"])
+        _assert_parity(dual_reader_portal(dense_reader_mode=False), [carrier])
+
+    def test_faulted_pass_with_failover(self):
+        carrier, _ = build_walk(1, ["front"])
+        duration = carrier.motion.duration_s
+        plan = FaultPlan(
+            crashes=(ReaderCrash("reader-0", 0.05 * duration, None),)
+        )
+        _assert_parity(failover_portal(), [carrier], fault_plan=plan)
+
+    def test_fading_cache_exercised(self):
+        carrier, _ = build_box_cart([BoxFace.FRONT], box_count=4)
+        stats = _assert_parity(single_antenna_portal(), [carrier], trials=1)
+        assert stats["fading_misses"] > 0
+        # Rounds are much shorter than the fading coherence distance at
+        # cart speed, so repeated draws in the same cell must hit.
+        assert stats["fading_hits"] > stats["fading_misses"]
+
+    def test_short_circuit_fires_on_distant_tags(self):
+        # 9 m with metal-content boxes: most dwells cannot possibly
+        # energize the far tags, so the short-circuit must engage.
+        carrier, _ = build_box_cart([BoxFace.SIDE_FARTHER], box_count=4)
+        stats = _assert_parity(single_antenna_portal(), [carrier], trials=1)
+        assert stats["short_circuits"] > 0
+
+
+class TestCacheObject:
+    def test_stats_shape(self):
+        cache = PassLinkCache()
+        stats = cache.stats()
+        assert set(stats) == {
+            "geometry_hits",
+            "geometry_misses",
+            "fading_hits",
+            "fading_misses",
+            "short_circuits",
+        }
+        assert all(v == 0 for v in stats.values())
+
+    def test_default_simulator_uses_cache(self):
+        sim = PortalPassSimulator(portal=single_antenna_portal())
+        assert sim.use_link_cache is True
