@@ -11,7 +11,9 @@ paper's redundancy analysis:
 * :mod:`repro.reader` — wire format, middleware, back-end;
 * :mod:`repro.core` — reliability metrics, the R_C redundancy model,
   calibration, planning, and software-correction baselines;
-* :mod:`repro.analysis` — statistics and table/figure rendering.
+* :mod:`repro.analysis` — statistics and table/figure rendering;
+* :mod:`repro.obs` — observability: link-budget tracing, miss-cause
+  attribution, run metrics, manifests, and the ``explain`` pipeline.
 
 Quickstart::
 
@@ -47,7 +49,7 @@ from .world import (
     single_antenna_portal,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DEFAULT_SEED",

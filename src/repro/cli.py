@@ -5,26 +5,32 @@ Examples
 ::
 
     python -m repro read-range --reps 12
-    python -m repro table1 --reps 8
-    python -m repro table2
+    python -m repro table1 --reps 8 --json
+    python -m repro table2 --record runs/table2
     python -m repro reader-redundancy
+    python -m repro explain --scenario cart --tag 3
+    python -m repro stats runs/table2
     python -m repro plan --target 0.995
     python -m repro report
     python -m repro bench --quick
 
 Every experiment command accepts ``--reps``, ``--seed`` and
 ``--workers`` (trial fan-out over a process pool; defaults to the
-``REPRO_WORKERS`` environment variable, unset means serial); outputs
-are the same ASCII tables the benchmark harness records. ``bench``
-records the performance suite to a machine-readable
-``BENCH_<date>.json``.
+``REPRO_WORKERS`` environment variable, unset means serial), plus the
+observability pair: ``--record DIR`` attaches a
+:class:`~repro.obs.Recorder` to the run and writes ``manifest.json`` +
+``events.jsonl`` into ``DIR``, and ``--json`` (available on *every*
+subcommand) emits the machine-readable payload instead of the ASCII
+table — both views flow through one formatter,
+:func:`repro.core.report.emit`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+import time
+from typing import Any, Dict, List, Optional, Sequence
 
 from .analysis.tables import Table, percent
 from .core.experiment import DEFAULT_SEED
@@ -34,6 +40,13 @@ from .core.model import (
     READ_RANGE_MEAN_TAGS,
 )
 from .core.planner import CostModel, DeploymentPlanner
+
+
+def _add_json(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable payload instead of the table",
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser, default_reps: int) -> None:
@@ -53,18 +66,88 @@ def _add_common(parser: argparse.ArgumentParser, default_reps: int) -> None:
             "unset = serial)"
         ),
     )
+    parser.add_argument(
+        "--record", metavar="DIR", default=None,
+        help=(
+            "record the run: write manifest.json and events.jsonl "
+            "(tag outcomes, miss causes, supervision events) into DIR"
+        ),
+    )
+    _add_json(parser)
+
+
+def _make_recorder(args: argparse.Namespace):
+    """A Recorder when ``--record`` was given, else None (zero cost)."""
+    if getattr(args, "record", None) is None:
+        return None
+    from .obs import Recorder
+
+    return Recorder()
+
+
+def _estimate_dict(estimate: Any) -> Dict[str, Any]:
+    return {
+        "rate": estimate.rate,
+        "successes": estimate.successes,
+        "trials": estimate.trials,
+    }
+
+
+def _finish(
+    args: argparse.Namespace,
+    payload: Dict[str, Any],
+    text: str,
+    recorder: Any = None,
+    wall_s: float = 0.0,
+    config: Optional[Dict[str, Any]] = None,
+) -> int:
+    """One exit point for every subcommand: record, then emit."""
+    from .core.report import emit
+
+    record_dir = getattr(args, "record", None)
+    if record_dir is not None and recorder is not None:
+        from .obs import (
+            RunManifest,
+            events_path,
+            write_events_jsonl,
+            write_manifest,
+        )
+
+        manifest = RunManifest.create(
+            command=payload.get("command", args.command),
+            seed=getattr(args, "seed", DEFAULT_SEED),
+            config=config or {},
+            wall_time_s=wall_s,
+            workers=getattr(args, "workers", None),
+        )
+        write_manifest(record_dir, manifest)
+        count = write_events_jsonl(events_path(record_dir), recorder.events)
+        payload = dict(payload)
+        payload["recording"] = {
+            "directory": record_dir,
+            "events": count,
+            "miss_causes": recorder.miss_cause_counts(),
+        }
+        text = f"{text}\nrecorded {count} events to {record_dir}"
+    emit(payload, text, as_json=getattr(args, "json", False))
+    return 0
 
 
 def _cmd_read_range(args: argparse.Namespace) -> int:
     from .world.scenarios.read_range import run_read_range_experiment
 
+    recorder = _make_recorder(args)
+    began = time.perf_counter()
     results = run_read_range_experiment(
-        repetitions=args.reps, seed=args.seed, workers=args.workers
+        repetitions=args.reps, seed=args.seed, workers=args.workers,
+        recorder=recorder,
     )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Figure 2 — mean tags read (of 20) vs distance",
         headers=("Distance (m)", "Measured", "Paper (approx)"),
     )
+    rows: List[Dict[str, Any]] = []
     for distance, point in sorted(results.items()):
         paper = READ_RANGE_MEAN_TAGS.get(distance)
         table.add_row(
@@ -72,40 +155,77 @@ def _cmd_read_range(args: argparse.Namespace) -> int:
             f"{point.mean_tags_read:.1f}",
             f"{paper:.1f}" if paper is not None else "-",
         )
-    print(table.render())
-    return 0
+        rows.append(
+            {
+                "distance_m": distance,
+                "measured_mean_tags": point.mean_tags_read,
+                "paper_mean_tags": paper,
+            }
+        )
+    payload = {
+        "command": "read-range",
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+    }
+    return _finish(
+        args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+        config={"reps": args.reps},
+    )
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from .world.scenarios.object_tracking import run_table1_experiment
 
+    recorder = _make_recorder(args)
+    began = time.perf_counter()
     results = run_table1_experiment(
-        repetitions=args.reps, seed=args.seed, workers=args.workers
+        repetitions=args.reps, seed=args.seed, workers=args.workers,
+        recorder=recorder,
     )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Table 1 — read reliability for tags on objects",
         headers=("Location", "Measured", "Paper"),
     )
+    rows: List[Dict[str, Any]] = []
     for face, estimate in results.items():
-        table.add_row(
-            face.value,
-            percent(estimate.rate),
-            percent(OBJECT_LOCATION_RELIABILITY[face.value]),
+        paper = OBJECT_LOCATION_RELIABILITY[face.value]
+        table.add_row(face.value, percent(estimate.rate), percent(paper))
+        rows.append(
+            {
+                "location": face.value,
+                "measured": _estimate_dict(estimate),
+                "paper_rate": paper,
+            }
         )
-    print(table.render())
-    return 0
+    payload = {
+        "command": "table1",
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+    }
+    return _finish(
+        args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+        config={"reps": args.reps},
+    )
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
     from .world.scenarios.human_tracking import run_table2_experiment
 
+    recorder = _make_recorder(args)
+    began = time.perf_counter()
     results = run_table2_experiment(
-        repetitions=args.reps, seed=args.seed, workers=args.workers
+        repetitions=args.reps, seed=args.seed, workers=args.workers,
+        recorder=recorder,
     )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Table 2 — read reliability for tags on humans",
         headers=("Placement", "1 subject", "2 subj closer", "2 subj farther"),
     )
+    rows: List[Dict[str, Any]] = []
     for placement, row in results.items():
         table.add_row(
             placement,
@@ -113,8 +233,26 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             percent(row.two_subject_closer.rate),
             percent(row.two_subject_farther.rate),
         )
-    print(table.render())
-    return 0
+        rows.append(
+            {
+                "placement": placement,
+                "one_subject": _estimate_dict(row.one_subject),
+                "two_subject_closer": _estimate_dict(row.two_subject_closer),
+                "two_subject_farther": _estimate_dict(
+                    row.two_subject_farther
+                ),
+            }
+        )
+    payload = {
+        "command": "table2",
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+    }
+    return _finish(
+        args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+        config={"reps": args.reps},
+    )
 
 
 def _cmd_table3(args: argparse.Namespace) -> int:
@@ -122,21 +260,41 @@ def _cmd_table3(args: argparse.Namespace) -> int:
         run_object_redundancy_experiment,
     )
 
+    recorder = _make_recorder(args)
+    began = time.perf_counter()
     outcomes = run_object_redundancy_experiment(
-        repetitions=args.reps, seed=args.seed, workers=args.workers
+        repetitions=args.reps, seed=args.seed, workers=args.workers,
+        recorder=recorder,
     )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Table 3 — redundancy for object tracking",
         headers=("Configuration", "R_M", "R_C"),
     )
+    rows: List[Dict[str, Any]] = []
     for outcome in outcomes:
         table.add_row(
             outcome.case.name,
             percent(outcome.measured.rate),
             percent(outcome.calculated, 1),
         )
-    print(table.render())
-    return 0
+        rows.append(
+            {
+                "configuration": outcome.case.name,
+                "measured": _estimate_dict(outcome.measured),
+                "calculated": outcome.calculated,
+            }
+        )
+    payload = {
+        "command": "table3",
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+    }
+    return _finish(
+        args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+        config={"reps": args.reps},
+    )
 
 
 def _cmd_reader_redundancy(args: argparse.Namespace) -> int:
@@ -144,18 +302,38 @@ def _cmd_reader_redundancy(args: argparse.Namespace) -> int:
         run_reader_redundancy_experiment,
     )
 
+    recorder = _make_recorder(args)
+    began = time.perf_counter()
     result = run_reader_redundancy_experiment(
-        repetitions=args.reps, seed=args.seed, workers=args.workers
+        repetitions=args.reps, seed=args.seed, workers=args.workers,
+        recorder=recorder,
     )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Section 4 — reader-level redundancy",
         headers=("Configuration", "Reliability"),
     )
-    table.add_row("1 reader", percent(result.single_reader.rate))
-    table.add_row("2 readers, no DRM", percent(result.dual_no_drm.rate))
-    table.add_row("2 readers, DRM", percent(result.dual_with_drm.rate))
-    print(table.render())
-    return 0
+    cells = (
+        ("1 reader", result.single_reader),
+        ("2 readers, no DRM", result.dual_no_drm),
+        ("2 readers, DRM", result.dual_with_drm),
+    )
+    rows: List[Dict[str, Any]] = []
+    for name, estimate in cells:
+        table.add_row(name, percent(estimate.rate))
+        rows.append(
+            {"configuration": name, "measured": _estimate_dict(estimate)}
+        )
+    payload = {
+        "command": "reader-redundancy",
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+    }
+    return _finish(
+        args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+        config={"reps": args.reps},
+    )
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
@@ -164,44 +342,61 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         run_fault_rate_sweep,
     )
 
+    recorder = _make_recorder(args)
     if args.sweep:
-        try:
-            results = run_fault_rate_sweep(
-                repetitions=args.reps, seed=args.seed, workers=args.workers
-            )
-        except ValueError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 1
+        began = time.perf_counter()
+        results = run_fault_rate_sweep(
+            repetitions=args.reps, seed=args.seed, workers=args.workers,
+            recorder=recorder,
+        )
+        wall_s = time.perf_counter() - began
         table = Table(
             "Fault sweep — tracking reliability vs per-pass crash rate",
             headers=("Crash rate", "1 reader", "2-reader failover"),
         )
+        rows: List[Dict[str, Any]] = []
         for rate, (single, failover) in sorted(results.items()):
             table.add_row(
                 f"{rate:g}",
                 percent(single.estimate.rate),
                 percent(failover.estimate.rate),
             )
-        print(table.render())
-        return 0
-
-    try:
-        result = run_fault_injection_experiment(
-            crash_fraction=args.crash_fraction,
-            restart_after_s=(
-                None if args.restart_after < 0 else args.restart_after
-            ),
-            repetitions=args.reps,
-            seed=args.seed,
-            workers=args.workers,
+            rows.append(
+                {
+                    "crash_rate": rate,
+                    "single": _estimate_dict(single.estimate),
+                    "failover": _estimate_dict(failover.estimate),
+                }
+            )
+        payload = {
+            "command": "faults",
+            "sweep": True,
+            "seed": args.seed,
+            "reps": args.reps,
+            "rows": rows,
+        }
+        return _finish(
+            args, payload, table.render(), recorder=recorder, wall_s=wall_s,
+            config={"reps": args.reps, "sweep": True},
         )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+
+    began = time.perf_counter()
+    result = run_fault_injection_experiment(
+        crash_fraction=args.crash_fraction,
+        restart_after_s=(
+            None if args.restart_after < 0 else args.restart_after
+        ),
+        repetitions=args.reps,
+        seed=args.seed,
+        workers=args.workers,
+        recorder=recorder,
+    )
+    wall_s = time.perf_counter() - began
     table = Table(
         "Fault injection — primary reader killed mid-pass",
         headers=("Configuration", "Reliability", "Degraded", "Failovers"),
     )
+    rows = []
     for outcome in (
         result.single_fault_free,
         result.single_crash,
@@ -214,25 +409,84 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             f"{outcome.degraded_trials}/{len(outcome.outcomes)}",
             f"{outcome.promoted_trials}/{len(outcome.outcomes)}",
         )
-    print(table.render())
+        rows.append(
+            {
+                "configuration": outcome.label,
+                "measured": _estimate_dict(outcome.estimate),
+                "degraded_trials": outcome.degraded_trials,
+                "promoted_trials": outcome.promoted_trials,
+                "trials": len(outcome.outcomes),
+            }
+        )
     sample = result.failover_crash.outcomes[0]
-    print()
-    print("Observability (failover-crash, trial 0):")
+    observability = {
+        "transitions": [
+            {
+                "time": t.time,
+                "reader_id": t.reader_id,
+                "old": t.old.value,
+                "new": t.new.value,
+            }
+            for t in sample.transitions
+        ],
+        "promotions": [
+            {
+                "time": p.time,
+                "from_reader": p.from_reader,
+                "to_reader": p.to_reader,
+            }
+            for p in sample.promotions
+        ],
+        "verdict": sample.verdict,
+        "coverage": sample.coverage,
+    }
+    lines = [table.render(), "", "Observability (failover-crash, trial 0):"]
     for transition in sample.transitions:
-        print(
+        lines.append(
             f"  t={transition.time:6.2f}s  {transition.reader_id}: "
             f"{transition.old.value} -> {transition.new.value}"
         )
     for promotion in sample.promotions:
-        print(
+        lines.append(
             f"  t={promotion.time:6.2f}s  failover: "
             f"{promotion.from_reader} -> {promotion.to_reader}"
         )
-    print(
+    lines.append(
         f"  verdict={sample.verdict!r} coverage={sample.coverage:.2f} "
         f"(blind misses reported 'unobserved', never 'absent')"
     )
-    return 0
+    payload = {
+        "command": "faults",
+        "sweep": False,
+        "seed": args.seed,
+        "reps": args.reps,
+        "rows": rows,
+        "sample_observability": observability,
+    }
+    return _finish(
+        args, payload, "\n".join(lines), recorder=recorder, wall_s=wall_s,
+        config={
+            "reps": args.reps,
+            "crash_fraction": args.crash_fraction,
+            "restart_after_s": args.restart_after,
+        },
+    )
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from .obs.explain import explain_tag
+
+    explanation = explain_tag(
+        args.scenario, seed=args.pass_seed, trial=args.trial, tag=args.tag
+    )
+    return _finish(args, explanation.to_payload(), explanation.render())
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs.explain import render_stats, stats_payload
+
+    payload = stats_payload(args.directory)
+    return _finish(args, payload, render_stats(payload))
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -250,11 +504,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
         ),
         antenna_efficiency=args.antenna_efficiency,
     )
-    try:
-        plan = planner.plan(args.target, max_antennas=args.max_antennas)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+    plan = planner.plan(args.target, max_antennas=args.max_antennas)
     table = Table(
         f"Deployment plan for {args.target:.1%} tracking reliability",
         headers=("Setting", "Value"),
@@ -264,8 +514,17 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     table.add_row("antennas", plan.antennas)
     table.add_row("predicted reliability", percent(plan.predicted_reliability, 2))
     table.add_row("cost", f"${plan.cost:,.0f}")
-    print(table.render())
-    return 0
+    payload = {
+        "command": "plan",
+        "target": args.target,
+        "domain": args.domain,
+        "tags_per_object": plan.tags_per_object,
+        "placements": list(plan.placements),
+        "antennas": plan.antennas,
+        "predicted_reliability": plan.predicted_reliability,
+        "cost": plan.cost,
+    }
+    return _finish(args, payload, table.render())
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -275,8 +534,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         workers=args.workers, quick=args.quick, seed=args.seed
     )
     path = write_benchmark(doc, args.output)
-    print(summarise(doc))
-    print(f"wrote {path}")
+    payload = {"command": "bench", "output": path, **doc}
+    text = f"{summarise(doc)}\nwrote {path}"
+    _finish(args, payload, text)
     if not doc["workload"]["parity"]:
         print(
             "error: parallel outcomes differ from serial", file=sys.stderr
@@ -286,10 +546,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .core import report
+    from .core.report import rebuild_experiments_md
 
-    report.main()
-    return 0
+    doc = rebuild_experiments_md()
+    payload = {"command": "report", **doc}
+    text = (
+        f"EXPERIMENTS.md written with {doc['artefacts_included']} artefacts "
+        f"from {doc['results_dir']}"
+    )
+    return _finish(args, payload, text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -338,6 +603,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     faults.set_defaults(handler=_cmd_faults)
 
+    explain = sub.add_parser(
+        "explain",
+        help=(
+            "re-run one fully-instrumented pass and print the "
+            "link-budget waterfall behind one tag's outcome"
+        ),
+    )
+    explain.add_argument(
+        "--scenario", default="cart",
+        help="registered workload (cart, walk)",
+    )
+    explain.add_argument(
+        "--pass-seed", type=int, default=DEFAULT_SEED,
+        help="root seed of the pass to re-run",
+    )
+    explain.add_argument(
+        "--trial", type=int, default=0,
+        help="trial index within the seed (default 0)",
+    )
+    explain.add_argument(
+        "--tag", default=None,
+        help="EPC or population index (default: the first missed tag)",
+    )
+    _add_json(explain)
+    explain.set_defaults(handler=_cmd_explain)
+
+    stats = sub.add_parser(
+        "stats",
+        help="summarise a recorded run directory (manifest + events.jsonl)",
+    )
+    stats.add_argument(
+        "directory",
+        help="directory written by --record",
+    )
+    _add_json(stats)
+    stats.set_defaults(handler=_cmd_stats)
+
     plan = sub.add_parser(
         "plan", help="deployment planning from the paper's measurements"
     )
@@ -350,11 +652,13 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--objects", type=int, default=1_000_000)
     plan.add_argument("--antenna-efficiency", type=float, default=0.7)
     plan.add_argument("--max-antennas", type=int, default=4)
+    _add_json(plan)
     plan.set_defaults(handler=_cmd_plan)
 
     report = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from benchmark results"
     )
+    _add_json(report)
     report.set_defaults(handler=_cmd_report)
 
     bench = sub.add_parser(
@@ -377,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None,
         help="output path (default: BENCH_<date>.json in the cwd)",
     )
+    _add_json(bench)
     bench.set_defaults(handler=_cmd_bench)
     return parser
 
@@ -388,6 +693,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return args.handler(args)
     except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout consumer (head, less) went away mid-write: not an error.
+        return 0
+    except OSError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

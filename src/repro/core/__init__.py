@@ -22,6 +22,7 @@ from .experiment import DEFAULT_SEED, TrialSet, run_trials, sweep
 from .parallel import (
     REPRO_WORKERS_ENV,
     PassTrialTask,
+    execute_timed_trials,
     execute_trials,
     resolve_workers,
     task_is_picklable,
@@ -107,6 +108,7 @@ __all__ = [
     "sweep",
     "REPRO_WORKERS_ENV",
     "PassTrialTask",
+    "execute_timed_trials",
     "execute_trials",
     "resolve_workers",
     "task_is_picklable",

@@ -178,14 +178,71 @@ def _bench_workload(
         "serial": {
             "seconds": serial_s,
             "passes_per_sec": trials / serial_s if serial_s > 0 else None,
+            "trial_times": serial.timing_summary(),
         },
         "parallel": {
             "workers": workers,
             "seconds": parallel_s,
             "passes_per_sec": trials / parallel_s if parallel_s > 0 else None,
+            "trial_times": parallel.timing_summary(),
         },
         "speedup": serial_s / parallel_s if parallel_s > 0 else None,
         "parity": serial.outcomes == parallel.outcomes,
+    }
+
+
+def _bench_obs_overhead(trials: int, seed: int) -> Dict[str, Any]:
+    """Observability cost on the Table 1 cart workload, three ways.
+
+    * ``off`` — ``recorder=None``: the hooks reduce to one identity
+      test per site; this is the mode every existing experiment runs in
+      and the mode the <2% overhead budget applies to.
+    * ``metrics`` — a default :class:`~repro.obs.Recorder`: per-pass
+      counters, histograms and miss attribution, no event capture.
+    * ``full`` — every capture flag on: link waterfalls, slots, RNG
+      provenance.
+
+    Read outcomes must be identical in all three modes — recording
+    never perturbs the simulation.
+    """
+    from ..obs import Recorder
+    from ..sim.trace import ReadTrace  # noqa: F401  (import cost off the clock)
+
+    sim, task = _workload_task()
+    seeds = SeedSequence(seed)
+
+    def _run(recorder) -> Any:
+        sim.recorder = recorder
+        start = time.perf_counter()
+        results = [task(seeds, i) for i in range(trials)]
+        elapsed = time.perf_counter() - start
+        sim.recorder = None
+        return results, elapsed
+
+    off, off_s = _run(None)
+    metrics, metrics_s = _run(Recorder())
+    full, full_s = _run(
+        Recorder(capture_link_budget=True, capture_slots=True, capture_rng=True)
+    )
+
+    def _traces(results) -> Any:
+        return [r.trace for r in results]
+
+    return {
+        "passes": trials,
+        "off_s": off_s,
+        "off_passes_per_sec": trials / off_s if off_s > 0 else None,
+        "metrics_s": metrics_s,
+        "metrics_overhead_pct": (
+            100.0 * (metrics_s - off_s) / off_s if off_s > 0 else None
+        ),
+        "full_capture_s": full_s,
+        "full_capture_overhead_pct": (
+            100.0 * (full_s - off_s) / off_s if off_s > 0 else None
+        ),
+        "bit_identical": (
+            _traces(off) == _traces(metrics) == _traces(full)
+        ),
     }
 
 
@@ -213,6 +270,8 @@ def run_benchmark(
     read_range = _bench_read_range(quick)
     _stage("pass cache on/off")
     pass_cache = _bench_pass_cache(max(2, trials // 4), seed)
+    _stage("observability overhead")
+    obs_overhead = _bench_obs_overhead(max(2, trials // 4), seed)
     _stage(f"workload serial vs {workers}-worker")
     workload = _bench_workload(trials, workers, seed)
 
@@ -231,6 +290,7 @@ def run_benchmark(
             "link_budget": link,
             "read_range_search": read_range,
             "pass_cache": pass_cache,
+            "obs_overhead": obs_overhead,
         },
         "workload": workload,
     }
@@ -265,6 +325,19 @@ def summarise(doc: Dict[str, Any]) -> str:
         (
             f"link cache: {pc['cache_speedup']:.2f}x over uncached "
             f"(bit-identical={'OK' if pc['bit_identical'] else 'FAIL'})"
+        ),
+        (
+            f"trial time: p50 {wl['serial']['trial_times']['p50_s'] * 1e3:.1f} ms, "
+            f"p95 {wl['serial']['trial_times']['p95_s'] * 1e3:.1f} ms (serial)"
+        ),
+        (
+            "obs overhead: "
+            f"{doc['hot_paths']['obs_overhead']['metrics_overhead_pct']:+.1f}% "
+            "metrics-only, "
+            f"{doc['hot_paths']['obs_overhead']['full_capture_overhead_pct']:+.1f}% "
+            "full capture "
+            f"(traces identical="
+            f"{'OK' if doc['hot_paths']['obs_overhead']['bit_identical'] else 'FAIL'})"
         ),
         (
             f"read-range search: "

@@ -9,16 +9,18 @@ scenarios and benchmarks.
 from __future__ import annotations
 
 import hashlib
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Generic, List, Optional, Sequence, Tuple, TypeVar
 
+from ..obs.metrics import summarise_timer
 from ..sim.rng import SeedSequence
 from .parallel import (
-    execute_trials,
-    gather_trials,
+    execute_timed_trials,
+    gather_timed_trials,
     resolve_workers,
-    submit_trials,
+    submit_timed_trials,
     task_is_picklable,
 )
 from .reliability import CountDistribution, ReliabilityEstimate
@@ -47,9 +49,19 @@ class TrialSet(Generic[T]):
 
     label: str
     outcomes: List[T] = field(default_factory=list)
+    #: Wall time of each trial, in trial-index order — measured where
+    #: the trial ran (inside the worker, for parallel loops) and
+    #: shipped back with the outcomes. Excluded from equality: two runs
+    #: with identical outcomes are the same experiment however long the
+    #: machine took.
+    trial_seconds: List[float] = field(default_factory=list, compare=False)
 
     def __len__(self) -> int:
         return len(self.outcomes)
+
+    def timing_summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p95 of the per-trial wall times."""
+        return summarise_timer(self.trial_seconds)
 
     def map(self, fn: Callable[[T], float]) -> List[float]:
         return [fn(o) for o in self.outcomes]
@@ -98,12 +110,16 @@ def run_trials(
         raise ValueError(f"repetitions must be >= 1, got {repetitions!r}")
     effective = resolve_workers(workers)
     if effective > 1 and task_is_picklable(trial_fn):
-        outcomes = execute_trials(trial_fn, repetitions, seed, effective)
-        return TrialSet(label=label, outcomes=outcomes)
+        outcomes, seconds = execute_timed_trials(
+            trial_fn, repetitions, seed, effective
+        )
+        return TrialSet(label=label, outcomes=outcomes, trial_seconds=seconds)
     seeds = SeedSequence(seed)
     trial_set: TrialSet[T] = TrialSet(label=label)
     for trial in range(repetitions):
+        began = time.perf_counter()
         trial_set.outcomes.append(trial_fn(seeds, trial))
+        trial_set.trial_seconds.append(time.perf_counter() - began)
     return trial_set
 
 
@@ -149,12 +165,20 @@ def sweep(
         # front, then collect in order.
         with ProcessPoolExecutor(max_workers=effective) as pool:
             submitted = [
-                (value, submit_trials(pool, fn, repetitions, point_seed, effective))
+                (
+                    value,
+                    submit_timed_trials(
+                        pool, fn, repetitions, point_seed, effective
+                    ),
+                )
                 for value, point_seed, fn in points
             ]
             for value, futures in submitted:
+                outcomes, seconds = gather_timed_trials(futures)
                 results[value] = TrialSet(
-                    label=label_fn(value), outcomes=gather_trials(futures)
+                    label=label_fn(value),
+                    outcomes=outcomes,
+                    trial_seconds=seconds,
                 )
         return results
     for value, point_seed, fn in points:

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple, TypeVar
@@ -120,6 +121,29 @@ def _run_trial_chunk(
     return [task(seeds, trial) for trial in range(start, stop)]
 
 
+def _run_trial_chunk_timed(
+    task: Callable[[SeedSequence, int], T],
+    root_seed: int,
+    start: int,
+    stop: int,
+) -> List[Tuple[T, float]]:
+    """Like :func:`_run_trial_chunk`, pairing each outcome with its
+    wall time in seconds.
+
+    The timing rides home **with the result** — workers share no state
+    with the parent, so this is how per-trial latency from a process
+    pool reaches the run's metrics registry. Outcomes are unaffected:
+    the clock reads bracket the trial call and touch nothing inside it.
+    """
+    seeds = SeedSequence(root_seed)
+    timed: List[Tuple[T, float]] = []
+    for trial in range(start, stop):
+        began = time.perf_counter()
+        outcome = task(seeds, trial)
+        timed.append((outcome, time.perf_counter() - began))
+    return timed
+
+
 def _chunk_bounds(repetitions: int, chunks: int) -> List[Tuple[int, int]]:
     """Split ``range(repetitions)`` into at most ``chunks`` contiguous blocks."""
     chunks = max(1, min(chunks, repetitions))
@@ -175,4 +199,51 @@ def execute_trials(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         return gather_trials(
             submit_trials(pool, task, repetitions, root_seed, workers)
+        )
+
+
+def submit_timed_trials(
+    executor: ProcessPoolExecutor,
+    task: Callable[[SeedSequence, int], T],
+    repetitions: int,
+    root_seed: int,
+    chunks: int,
+) -> List["Future[List[Tuple[T, float]]]"]:
+    """Timed counterpart of :func:`submit_trials`."""
+    return [
+        executor.submit(_run_trial_chunk_timed, task, root_seed, start, stop)
+        for start, stop in _chunk_bounds(repetitions, chunks)
+    ]
+
+
+def gather_timed_trials(
+    futures: Sequence["Future[List[Tuple[T, float]]]"],
+) -> Tuple[List[T], List[float]]:
+    """Collect timed chunks back into (outcomes, seconds), both in
+    trial-index order."""
+    outcomes: List[T] = []
+    seconds: List[float] = []
+    for future in futures:
+        for outcome, elapsed in future.result():
+            outcomes.append(outcome)
+            seconds.append(elapsed)
+    return outcomes, seconds
+
+
+def execute_timed_trials(
+    task: Callable[[SeedSequence, int], T],
+    repetitions: int,
+    root_seed: int,
+    workers: int,
+    executor: Optional[ProcessPoolExecutor] = None,
+) -> Tuple[List[T], List[float]]:
+    """Timed counterpart of :func:`execute_trials`: same outcomes, plus
+    each trial's wall time as measured inside its worker."""
+    if executor is not None:
+        return gather_timed_trials(
+            submit_timed_trials(executor, task, repetitions, root_seed, workers)
+        )
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return gather_timed_trials(
+            submit_timed_trials(pool, task, repetitions, root_seed, workers)
         )

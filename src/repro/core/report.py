@@ -1,17 +1,50 @@
-"""Experiment report assembly.
+"""Experiment report assembly and the CLI's single output formatter.
 
-The benchmark harness writes each regenerated table/figure to
-``benchmarks/results/<id>.txt``; this module assembles those artefacts
-into the ``EXPERIMENTS.md`` record (paper-vs-measured for every table
-and figure), so the document always reflects an actual benchmark run
-rather than hand-copied numbers.
+Two jobs live here:
+
+* :func:`emit` — the one exit point every ``python -m repro``
+  subcommand routes its results through: a machine-readable payload
+  and a human-readable rendering of the *same* data, selected by the
+  ``--json`` flag. Centralising the choice keeps the two views from
+  drifting apart subcommand by subcommand.
+* EXPERIMENTS.md assembly — the benchmark harness writes each
+  regenerated table/figure to ``benchmarks/results/<id>.txt``; this
+  module assembles those artefacts into the ``EXPERIMENTS.md`` record
+  (paper-vs-measured for every table and figure), so the document
+  always reflects an actual benchmark run rather than hand-copied
+  numbers.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import sys
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+
+def emit(
+    payload: Dict[str, Any],
+    text: str,
+    as_json: bool = False,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Write one subcommand's result: JSON payload or rendered text.
+
+    ``payload`` and ``text`` must describe the same result — the flag
+    only chooses the view. Non-JSON-native values (enums, dataclasses
+    left in by accident) fall back to ``str`` rather than crashing a
+    finished experiment at print time.
+    """
+    out = stream if stream is not None else sys.stdout
+    if as_json:
+        json.dump(payload, out, indent=2, default=str)
+        out.write("\n")
+    else:
+        out.write(text)
+        if not text.endswith("\n"):
+            out.write("\n")
 
 #: Experiment registry: (result-file stem, paper artefact, one-line gloss).
 EXPERIMENT_INDEX: Tuple[Tuple[str, str, str], ...] = (
@@ -214,8 +247,12 @@ def write_experiments_md(
     return sum(1 for a in artifacts if a.available)
 
 
-def main() -> None:
-    """CLI: rebuild EXPERIMENTS.md from the repo's benchmark results."""
+def rebuild_experiments_md() -> Dict[str, Any]:
+    """Rebuild EXPERIMENTS.md from the repo's benchmark results.
+
+    Returns a summary payload (output path, results dir, artefact
+    counts) for :func:`emit`.
+    """
     repo_root = os.path.dirname(
         os.path.dirname(
             os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
@@ -231,7 +268,21 @@ def main() -> None:
         "benchmark asserts those shapes; this file records the raw rows."
     )
     count = write_experiments_md(results_dir, output, preamble=preamble)
-    print(f"EXPERIMENTS.md written with {count} artefacts from {results_dir}")
+    return {
+        "output": output,
+        "results_dir": results_dir,
+        "artefacts_included": count,
+        "artefacts_registered": len(EXPERIMENT_INDEX),
+    }
+
+
+def main() -> None:
+    """CLI: rebuild EXPERIMENTS.md from the repo's benchmark results."""
+    doc = rebuild_experiments_md()
+    print(
+        f"EXPERIMENTS.md written with {doc['artefacts_included']} artefacts "
+        f"from {doc['results_dir']}"
+    )
 
 
 if __name__ == "__main__":

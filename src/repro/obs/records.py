@@ -1,0 +1,225 @@
+"""Typed observability records and the miss-cause vocabulary.
+
+Every record is a frozen dataclass with a stable ``type`` tag and a
+lossless dict round-trip (``to_dict`` / :func:`record_from_dict`),
+which is what makes ``events.jsonl`` files self-describing: each line
+is one record, ``{"type": ..., **fields}``.
+
+The record set mirrors what a deployed RFID serving stack would need
+to operate the system blind-free:
+
+* :class:`DwellLinkRecord` — one link-budget waterfall: every dB-domain
+  term of one (reader, antenna, tag, dwell) evaluation;
+* :class:`SlotRecord` — one air-interface slot with responder identity
+  (the reader itself only sees "collision"; the simulator knows who);
+* :class:`TagOutcomeRecord` — the per-pass verdict for one tag: read,
+  or missed with exactly one :class:`MissCause`;
+* :class:`MaskedDwellRecord` — a dwell the infrastructure never ran
+  (crashed reader, silent antenna): the "reader blind" evidence;
+* :class:`SupervisorRecord` — health transitions and failover
+  promotions from the supervision layer;
+* :class:`RngStreamRecord` — RNG-stream provenance: which named stream
+  was derived with which seed, the audit trail behind "deterministic".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple, Type
+
+
+class MissCause(enum.Enum):
+    """Why a tag present in the pass produced no read.
+
+    Exactly one cause is attributed per missed tag, by the precedence
+    documented in :meth:`repro.obs.recorder.PassRecording.finalize`.
+    """
+
+    #: The forward link never closed, but at least one dwell was within
+    #: the fading head-room: an unlucky draw, not hopeless geometry.
+    UNDER_ENERGIZED = "under_energized"
+    #: The tag replied, but every slot it contended ended in a
+    #: multi-tag collision that capture did not resolve.
+    COLLISION = "collision"
+    #: No dwell came within the fading head-room of waking the chip:
+    #: the tag never entered the read zone at all.
+    OUT_OF_ZONE = "out_of_zone"
+    #: Injected component faults blinded the opportunities: dwells were
+    #: skipped outright, or a port-level loss kept an otherwise-closing
+    #: forward link below threshold.
+    FAULT_MASKED = "fault_masked"
+    #: The tag was energized and eligible but was never successfully
+    #: singulated before the pass ended (slot starvation, garbled solo
+    #: replies).
+    NOT_INVENTORIED = "not_inventoried"
+
+
+@dataclass(frozen=True)
+class DwellLinkRecord:
+    """One full link-budget evaluation, term by term.
+
+    Sum the gains and subtract the losses in the order listed and you
+    reproduce ``forward_power_dbm`` exactly — this record *is* the
+    waterfall that ``python -m repro explain`` prints.
+    """
+
+    time: float
+    trial: int
+    reader_id: str
+    antenna_id: str
+    epc: str
+    tx_power_dbm: float
+    cable_loss_db: float
+    reader_gain_dbi: float
+    path_gain_db: float
+    shadowing_db: float
+    tag_gain_dbi: float
+    polarization_loss_db: float
+    obstruction_db: float
+    detuning_db: float
+    coupling_db: float
+    fault_loss_db: float
+    fading_db: Optional[float]
+    interference_dbm: Optional[float]
+    forward_power_dbm: Optional[float]
+    forward_margin_db: Optional[float]
+    reverse_power_dbm: Optional[float]
+    reverse_margin_db: Optional[float]
+    energized: bool
+    #: True when the forward budget provably could not close under any
+    #: plausible fading draw and the evaluation stopped early (no
+    #: fading draw, no reverse budget — the ``None`` fields above).
+    short_circuited: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "link"
+        return doc
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """One ALOHA slot, with the responder identities the air hides."""
+
+    time: float
+    trial: int
+    reader_id: str
+    antenna_id: str
+    slot_index: int
+    responders: Tuple[str, ...]
+    #: "empty", "success", or "collision" — the reader's view; a
+    #: garbled solo reply is a "collision" to the reader even though
+    #: ``len(responders) == 1``.
+    outcome: str
+    winner: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "slot"
+        doc["responders"] = list(self.responders)
+        return doc
+
+
+@dataclass(frozen=True)
+class TagOutcomeRecord:
+    """Per-pass verdict for one tag: read, or missed with one cause."""
+
+    trial: int
+    epc: str
+    read: bool
+    cause: Optional[MissCause]
+    first_read_time: Optional[float]
+    reads: int
+    dwells_evaluated: int
+    energized_dwells: int
+    collision_slots: int
+    solo_garbled_slots: int
+    #: Best no-fading forward margin seen across the pass (dB); what
+    #: separates OUT_OF_ZONE from UNDER_ENERGIZED.
+    best_no_fade_margin_db: Optional[float]
+    #: Same margin with injected port losses removed; what separates
+    #: FAULT_MASKED from the physics causes.
+    best_unfaulted_margin_db: Optional[float]
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "tag"
+        doc["cause"] = self.cause.value if self.cause is not None else None
+        return doc
+
+
+@dataclass(frozen=True)
+class MaskedDwellRecord:
+    """A dwell that never ran: the infrastructure was blind, not the RF."""
+
+    time: float
+    trial: int
+    reader_id: str
+    #: ``None`` when the whole reader was down (all its antennas idle).
+    antenna_id: Optional[str]
+    #: "reader_down" or "antenna_silent".
+    reason: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "masked_dwell"
+        return doc
+
+
+@dataclass(frozen=True)
+class SupervisorRecord:
+    """A supervision-layer lifecycle event (transition or promotion)."""
+
+    time: float
+    trial: int
+    reader_id: str
+    #: "health" (old -> new) or "promotion" (from -> to).
+    kind: str
+    old: str
+    new: str
+    reason: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "supervisor"
+        return doc
+
+
+@dataclass(frozen=True)
+class RngStreamRecord:
+    """Provenance of one derived RNG stream."""
+
+    trial: int
+    name: str
+    seed: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc = asdict(self)
+        doc["type"] = "rng"
+        return doc
+
+
+#: JSONL tag -> record class, for :func:`record_from_dict`.
+RECORD_TYPES: Dict[str, Type] = {
+    "link": DwellLinkRecord,
+    "slot": SlotRecord,
+    "tag": TagOutcomeRecord,
+    "masked_dwell": MaskedDwellRecord,
+    "supervisor": SupervisorRecord,
+    "rng": RngStreamRecord,
+}
+
+
+def record_from_dict(doc: Dict[str, Any]) -> Any:
+    """Rebuild a typed record from its ``to_dict`` form (lossless)."""
+    kind = doc.get("type")
+    cls = RECORD_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown record type {kind!r}")
+    fields = {k: v for k, v in doc.items() if k != "type"}
+    if cls is SlotRecord:
+        fields["responders"] = tuple(fields["responders"])
+    if cls is TagOutcomeRecord and fields.get("cause") is not None:
+        fields["cause"] = MissCause(fields["cause"])
+    return cls(**fields)

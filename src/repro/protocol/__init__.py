@@ -40,6 +40,7 @@ from .gen2 import (
     InventoryResult,
     InventorySession,
     QAlgorithm,
+    SlotObserver,
     TagChannel,
     inventory_until,
     run_inventory_round,
@@ -132,6 +133,7 @@ __all__ = [
     "InventoryResult",
     "InventorySession",
     "QAlgorithm",
+    "SlotObserver",
     "TagChannel",
     "inventory_until",
     "run_inventory_round",

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..sim.events import TagReadEvent
 from .wire import PollOrderError, TransportError, WireFormatError, parse_tag_list
@@ -124,6 +124,7 @@ class SupervisedReader:
         reader_id: str,
         transport,
         policy: Optional[RetryPolicy] = None,
+        on_transition: Optional[Callable[[HealthTransition], None]] = None,
     ) -> None:
         if not reader_id:
             raise SupervisorError("reader_id must be non-empty")
@@ -135,6 +136,10 @@ class SupervisedReader:
         self._clock = float("-inf")
         self.transitions: List[HealthTransition] = []
         self.stats = PollStats()
+        #: Observability callback fired on every health transition (in
+        #: addition to the :attr:`transitions` log). ``None`` costs one
+        #: identity test per transition — nothing on the poll path.
+        self.on_transition = on_transition
 
     @property
     def health(self) -> ReaderHealth:
@@ -198,16 +203,17 @@ class SupervisedReader:
     def _transition(
         self, time: float, new: ReaderHealth, reason: str
     ) -> None:
-        self.transitions.append(
-            HealthTransition(
-                time=time,
-                reader_id=self.reader_id,
-                old=self._health,
-                new=new,
-                reason=reason,
-            )
+        transition = HealthTransition(
+            time=time,
+            reader_id=self.reader_id,
+            old=self._health,
+            new=new,
+            reason=reason,
         )
+        self.transitions.append(transition)
         self._health = new
+        if self.on_transition is not None:
+            self.on_transition(transition)
 
 
 @dataclass(frozen=True)
@@ -232,7 +238,11 @@ class ReaderFailoverGroup:
     failback flapping.
     """
 
-    def __init__(self, readers: Sequence[SupervisedReader]) -> None:
+    def __init__(
+        self,
+        readers: Sequence[SupervisedReader],
+        on_promotion: Optional[Callable[[Promotion], None]] = None,
+    ) -> None:
         if not readers:
             raise SupervisorError("a failover group needs >= 1 reader")
         ids = [r.reader_id for r in readers]
@@ -241,6 +251,9 @@ class ReaderFailoverGroup:
         self._readers = list(readers)
         self._active = ids[0]
         self.promotions: List[Promotion] = []
+        #: Observability callback fired on every failover promotion (in
+        #: addition to the :attr:`promotions` log).
+        self.on_promotion = on_promotion
 
     @property
     def active_reader_id(self) -> str:
@@ -288,14 +301,15 @@ class ReaderFailoverGroup:
             return
         for reader in self._readers:
             if reader.health is not ReaderHealth.DOWN:
-                self.promotions.append(
-                    Promotion(
-                        time=now,
-                        from_reader=self._active,
-                        to_reader=reader.reader_id,
-                    )
+                promotion = Promotion(
+                    time=now,
+                    from_reader=self._active,
+                    to_reader=reader.reader_id,
                 )
+                self.promotions.append(promotion)
                 self._active = reader.reader_id
+                if self.on_promotion is not None:
+                    self.on_promotion(promotion)
                 return
         # Everyone is down; keep the stale assignment (nothing to do).
 

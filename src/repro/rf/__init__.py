@@ -22,6 +22,7 @@ from .link import (
     LinkGeometry,
     LinkResult,
     evaluate_link,
+    forward_waterfall,
     free_space_read_range_m,
 )
 from .materials import (
@@ -96,6 +97,7 @@ __all__ = [
     "LinkGeometry",
     "LinkResult",
     "evaluate_link",
+    "forward_waterfall",
     "free_space_read_range_m",
     "AIR",
     "BODY",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Tuple
 
 from .antenna import DipoleAntenna, PatchAntenna, polarization_loss_db
 from .geometry import Vec3
@@ -289,6 +289,45 @@ def compose_link(
         forward_margin_db=forward_margin,
         reverse_margin_db=reverse_margin,
     )
+
+
+def forward_waterfall(
+    tx_power_dbm: float,
+    cable_loss_db: float,
+    reader_gain_dbi: float,
+    path_gain_db: float,
+    shadowing_db: float,
+    tag_gain_dbi: float,
+    polarization_loss_db: float,
+    obstruction_db: float,
+    detuning_db: float,
+    coupling_db: float,
+    fault_loss_db: float = 0.0,
+    fading_db: float = 0.0,
+) -> List[Tuple[str, float]]:
+    """Ordered signed contributions of one forward link budget, in dB.
+
+    Each entry is ``(term name, contribution)`` with losses already
+    negated, so summing the contributions in list order reproduces the
+    forward power at the tag — the waterfall
+    ``python -m repro explain`` prints. The argument names match the
+    fields of :class:`repro.obs.records.DwellLinkRecord`, which is the
+    record this renders.
+    """
+    return [
+        ("tx power (dBm)", tx_power_dbm),
+        ("port fault loss", -fault_loss_db),
+        ("cable loss", -cable_loss_db),
+        ("reader antenna gain", reader_gain_dbi),
+        ("path gain", path_gain_db),
+        ("shadowing", shadowing_db),
+        ("tag antenna gain", tag_gain_dbi),
+        ("polarization loss", -polarization_loss_db),
+        ("obstruction loss", -obstruction_db),
+        ("tag detuning", -detuning_db),
+        ("tag coupling", -coupling_db),
+        ("small-scale fading", fading_db),
+    ]
 
 
 def _boresight_geometry(distance_m: float) -> LinkGeometry:

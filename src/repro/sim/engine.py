@@ -20,13 +20,24 @@ class SimulationError(RuntimeError):
 
 
 class Engine:
-    """Priority-queue discrete-event executor."""
+    """Priority-queue discrete-event executor.
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    ``observer``, when set, is called with each :class:`ScheduledEvent`
+    immediately after its action fires — the observability layer's view
+    of the event stream. ``None`` (the default) costs one identity test
+    per event and nothing else.
+    """
+
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        observer: Optional[Callable[[ScheduledEvent], None]] = None,
+    ) -> None:
         self._now = start_time
         self._queue: List[ScheduledEvent] = []
         self._running = False
         self._processed = 0
+        self.observer = observer
 
     @property
     def now(self) -> float:
@@ -78,6 +89,8 @@ class Engine:
             self._now = event.time
             self._processed += 1
             event.action()
+            if self.observer is not None:
+                self.observer(event)
             return True
         return False
 

@@ -8,17 +8,41 @@ AR400's XML tag lists that the paper's Java harness consumed.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 from .events import TagReadEvent
 
 
 @dataclass
 class ReadTrace:
-    """An append-only, time-ordered record of tag reads."""
+    """An append-only, time-ordered record of tag reads.
+
+    Per-EPC queries (:meth:`was_read`, :meth:`reads_of`,
+    :meth:`first_read_time`) are served from a lazily built per-EPC
+    index rather than full scans: the index is constructed on the first
+    query and invalidated by :meth:`record`, so dedup-style access
+    patterns (many queries against a settled trace) run in O(1) per
+    lookup while the append path stays a plain list append.
+    """
 
     events: List[TagReadEvent] = field(default_factory=list)
+    #: Lazy EPC -> events index; never part of equality or repr — two
+    #: traces with the same events are equal whether or not either has
+    #: been queried yet.
+    _epc_index: Optional[Dict[str, List[TagReadEvent]]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def record(self, event: TagReadEvent) -> None:
         """Append one read event; times must be non-decreasing."""
@@ -28,6 +52,17 @@ class ReadTrace:
                 f"{event.time} after {self.events[-1].time}"
             )
         self.events.append(event)
+        self._epc_index = None
+
+    def _index(self) -> Dict[str, List[TagReadEvent]]:
+        """The per-EPC index, built on first use after any mutation."""
+        index = self._epc_index
+        if index is None:
+            index = {}
+            for e in self.events:
+                index.setdefault(e.epc, []).append(e)
+            self._epc_index = index
+        return index
 
     def __len__(self) -> int:
         return len(self.events)
@@ -41,15 +76,15 @@ class ReadTrace:
 
     def epcs_seen(self) -> FrozenSet[str]:
         """The distinct EPCs read at least once."""
-        return frozenset(e.epc for e in self.events)
+        return frozenset(self._index())
 
     def was_read(self, epc: str) -> bool:
         """True when ``epc`` appears anywhere in the trace."""
-        return any(e.epc == epc for e in self.events)
+        return epc in self._index()
 
     def reads_of(self, epc: str) -> List[TagReadEvent]:
         """All events for one EPC, in time order."""
-        return [e for e in self.events if e.epc == epc]
+        return list(self._index().get(epc, ()))
 
     def by_antenna(self) -> Dict[Tuple[str, str], List[TagReadEvent]]:
         """Events grouped by (reader_id, antenna_id)."""
@@ -60,17 +95,12 @@ class ReadTrace:
 
     def read_counts(self) -> Dict[str, int]:
         """Number of reads per EPC."""
-        counts: Dict[str, int] = {}
-        for e in self.events:
-            counts[e.epc] = counts.get(e.epc, 0) + 1
-        return counts
+        return {epc: len(events) for epc, events in self._index().items()}
 
     def first_read_time(self, epc: str) -> Optional[float]:
         """Time of the first read of ``epc``, or None if never read."""
-        for e in self.events:
-            if e.epc == epc:
-                return e.time
-        return None
+        events = self._index().get(epc)
+        return events[0].time if events else None
 
     def window(self, start: float, end: float) -> "ReadTrace":
         """A sub-trace restricted to ``start <= time < end``."""
@@ -89,3 +119,51 @@ class ReadTrace:
             list(self.events) + list(other.events), key=lambda e: e.time
         )
         return merged
+
+    # -- lossless JSONL round-trip ----------------------------------------
+
+    def to_jsonl(self) -> str:
+        """One JSON line per event, in trace order.
+
+        Floats serialize in shortest-repr form, which Python's ``json``
+        parses back to the identical double — the round trip through
+        :meth:`from_jsonl` is lossless, bit for bit.
+        """
+        return "\n".join(
+            json.dumps(
+                {
+                    "time": e.time,
+                    "epc": e.epc,
+                    "reader_id": e.reader_id,
+                    "antenna_id": e.antenna_id,
+                    "rssi_dbm": e.rssi_dbm,
+                },
+                sort_keys=True,
+            )
+            for e in self.events
+        )
+
+    @classmethod
+    def from_jsonl(cls, text: Iterable[str]) -> "ReadTrace":
+        """Rebuild a trace from :meth:`to_jsonl` output.
+
+        ``text`` is a string or any iterable of lines; blank lines are
+        skipped, so files with trailing newlines load cleanly.
+        """
+        lines = text.splitlines() if isinstance(text, str) else text
+        trace = cls()
+        for line in lines:
+            stripped = line.strip()
+            if not stripped:
+                continue
+            doc = json.loads(stripped)
+            trace.record(
+                TagReadEvent(
+                    time=doc["time"],
+                    epc=doc["epc"],
+                    reader_id=doc["reader_id"],
+                    antenna_id=doc["antenna_id"],
+                    rssi_dbm=doc["rssi_dbm"],
+                )
+            )
+        return trace

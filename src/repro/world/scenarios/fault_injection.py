@@ -22,12 +22,15 @@ root seed, so runs replay bit-for-bit.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
 from ...core.reliability import ReliabilityEstimate
 from ...faults import FaultPlan, FaultyTransport, ReaderCrash
+from ...obs.metrics import MetricsRegistry
+from ...obs.recorder import PassObservation, Recorder
+from ...obs.records import SupervisorRecord
 from ...reader.backend import ObjectRegistry, TrackedObject, TrackingBackend
 from ...reader.supervisor import (
     HealthTransition,
@@ -145,6 +148,10 @@ class SupervisedTrialOutcome:
     active_reader: str
     transitions: Tuple[HealthTransition, ...]
     promotions: Tuple[Promotion, ...]
+    #: Recorded pass observation (with the supervision layer's health
+    #: and failover events folded in) when the simulator carried a
+    #: :class:`~repro.obs.Recorder`; ``None`` otherwise.
+    obs: Optional[PassObservation] = None
 
 
 @dataclass(frozen=True)
@@ -247,6 +254,41 @@ def run_supervised_pass(
     and the back-end renders a coverage-aware tracking decision.
     """
     result = simulator.run_pass(carriers, seeds, trial, fault_plan=plan)
+
+    # When the pass was recorded, fold the supervision layer's
+    # lifecycle events into the same observation via the supervisor's
+    # observer callbacks — never by consuming RNG or touching state.
+    sup_records: List[SupervisorRecord] = []
+    on_transition = None
+    on_promotion = None
+    if result.obs is not None:
+
+        def on_transition(tr: HealthTransition) -> None:
+            sup_records.append(
+                SupervisorRecord(
+                    time=tr.time,
+                    trial=trial,
+                    reader_id=tr.reader_id,
+                    kind="health",
+                    old=tr.old.value,
+                    new=tr.new.value,
+                    reason=tr.reason,
+                )
+            )
+
+        def on_promotion(promotion: Promotion) -> None:
+            sup_records.append(
+                SupervisorRecord(
+                    time=promotion.time,
+                    trial=trial,
+                    reader_id=promotion.to_reader,
+                    kind="promotion",
+                    old=promotion.from_reader,
+                    new=promotion.to_reader,
+                    reason="failover",
+                )
+            )
+
     readers: List[SupervisedReader] = []
     for assignment in portal.readers:
         interface = PolledInterface(
@@ -265,9 +307,12 @@ def run_supervised_pass(
             ),
         )
         readers.append(
-            SupervisedReader(assignment.reader_id, transport, policy)
+            SupervisedReader(
+                assignment.reader_id, transport, policy,
+                on_transition=on_transition,
+            )
         )
-    group = ReaderFailoverGroup(readers)
+    group = ReaderFailoverGroup(readers, on_promotion=on_promotion)
     backend = TrackingBackend(registry)
     t = poll_interval_s
     # Poll through the pass, then once more to drain stragglers (and
@@ -276,6 +321,18 @@ def run_supervised_pass(
         backend.ingest(group.poll(t))
         t += poll_interval_s
     decision = backend.decide(coverage=result.coverage)[object_id]
+
+    observation = result.obs
+    if observation is not None and sup_records:
+        merged = MetricsRegistry.from_dict(observation.metrics)
+        merged.counter("pass.supervisor_events").inc(len(sup_records))
+        observation = replace(
+            observation,
+            supervisor_records=observation.supervisor_records
+            + tuple(sup_records),
+            metrics=merged.to_dict(),
+        )
+
     return SupervisedTrialOutcome(
         detected=decision.detected,
         degraded=decision.degraded,
@@ -284,6 +341,7 @@ def run_supervised_pass(
         active_reader=group.active_reader_id,
         transitions=tuple(group.transitions()),
         promotions=tuple(group.promotions),
+        obs=observation,
     )
 
 
@@ -336,6 +394,7 @@ def _measure_config(
     poll_interval_s: float = POLL_INTERVAL_S,
     stream_label: Optional[str] = None,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ConfigOutcome:
     """Measure one (portal, fault plan) cell.
 
@@ -349,7 +408,8 @@ def _measure_config(
 
     setup = PaperSetup()
     simulator = PortalPassSimulator(
-        portal=portal, env=setup.env, params=setup.params
+        portal=portal, env=setup.env, params=setup.params,
+        recorder=recorder,
     )
     carrier, humans = build_walk(1, [placement])
     epc = humans[0].tags[0].epc
@@ -373,6 +433,8 @@ def _measure_config(
         seed=seed ^ stable_hash(stream_label or label),
         workers=workers,
     )
+    if recorder is not None:
+        recorder.absorb_trial_set(label, trials)
     return ConfigOutcome(
         label=label,
         estimate=trials.success_estimate(lambda o: o.detected),
@@ -387,6 +449,7 @@ def run_fault_injection_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> FaultInjectionResult:
     """Kill the primary mid-pass; compare one reader vs a failover pair.
 
@@ -406,22 +469,22 @@ def run_fault_injection_experiment(
         single_fault_free=_measure_config(
             single, "faults:single-clean", no_faults, placement,
             repetitions, seed, stream_label="faults:single",
-            workers=workers,
+            workers=workers, recorder=recorder,
         ),
         single_crash=_measure_config(
             single, "faults:single-crash", crash, placement,
             repetitions, seed, stream_label="faults:single",
-            workers=workers,
+            workers=workers, recorder=recorder,
         ),
         failover_fault_free=_measure_config(
             pair, "faults:failover-clean", no_faults, placement,
             repetitions, seed, stream_label="faults:failover",
-            workers=workers,
+            workers=workers, recorder=recorder,
         ),
         failover_crash=_measure_config(
             pair, "faults:failover-crash", crash, placement,
             repetitions, seed, stream_label="faults:failover",
-            workers=workers,
+            workers=workers, recorder=recorder,
         ),
     )
 
@@ -434,6 +497,7 @@ def run_fault_rate_sweep(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[float, Tuple[ConfigOutcome, ConfigOutcome]]:
     """Tracking reliability vs per-pass crash probability, 1 vs 2 readers.
 
@@ -464,6 +528,7 @@ def run_fault_rate_sweep(
             seed,
             stream_label="faults:single",
             workers=workers,
+            recorder=recorder,
         )
         failover = _measure_config(
             failover_portal(),
@@ -474,6 +539,7 @@ def run_fault_rate_sweep(
             seed,
             stream_label="faults:failover",
             workers=workers,
+            recorder=recorder,
         )
         results[rate] = (single, failover)
     return results

@@ -20,6 +20,7 @@ from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
 from ...core.parallel import PassTrialTask
 from ...core.redundancy import combined_reliability
 from ...core.reliability import ReliabilityEstimate, tracking_success
+from ...obs.recorder import Recorder
 from ...protocol.epc import EpcFactory
 from ..humans import Human, HumanTagPlacement, two_abreast
 from ..motion import LinearPass
@@ -115,39 +116,49 @@ def run_table2_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[str, HumanPlacementResult]:
     """Reproduce Table 2: per-placement read reliability, 1 and 2 subjects.
 
     The paper's "Front / Back" row pools the two symmetric placements;
     we measure FRONT and report it for that row (BACK is symmetric
-    under the pass geometry).
+    under the pass geometry). ``recorder`` turns observability on for
+    every pass; results are bit-identical with or without it.
     """
     sim = _make_simulator(single_antenna_portal())
+    if recorder is not None:
+        sim.recorder = recorder
     results: Dict[str, HumanPlacementResult] = {}
     for placement in placements:
         # One subject.
         carrier1, humans1 = build_walk(1, [placement])
         epc1 = humans1[0].tags[0].epc
+        label1 = f"table2:one:{placement}"
         set1 = run_trials(
-            f"table2:one:{placement}",
+            label1,
             PassTrialTask(simulator=sim, carriers=(carrier1,)),
             repetitions,
             seed=seed ^ stable_hash("one:" + placement),
             workers=workers,
         )
+        if recorder is not None:
+            recorder.absorb_trial_set(label1, set1)
         one = set1.success_estimate(lambda r: epc1 in r.read_epcs)
 
         # Two subjects, same placement on each.
         carrier2, humans2 = build_walk(2, [placement])
         closer_epc = humans2[0].tags[0].epc
         farther_epc = humans2[1].tags[0].epc
+        label2 = f"table2:two:{placement}"
         set2 = run_trials(
-            f"table2:two:{placement}",
+            label2,
             PassTrialTask(simulator=sim, carriers=(carrier2,)),
             repetitions,
             seed=seed ^ stable_hash("two:" + placement),
             workers=workers,
         )
+        if recorder is not None:
+            recorder.absorb_trial_set(label2, set2)
         closer = set2.success_estimate(lambda r: closer_epc in r.read_epcs)
         farther = set2.success_estimate(lambda r: farther_epc in r.read_epcs)
         results[placement] = HumanPlacementResult(

@@ -21,6 +21,7 @@ from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
 from ...core.parallel import PassTrialTask
 from ...core.redundancy import combined_reliability
 from ...core.reliability import ReliabilityEstimate, tracking_success
+from ...obs.recorder import Recorder
 from ...protocol.epc import EpcFactory
 from ..motion import LinearPass
 from ..objects import BoxFace, TaggedBox, cart_of_boxes
@@ -128,25 +129,33 @@ def run_table1_experiment(
     seed: int = DEFAULT_SEED,
     simulator: Optional[PortalPassSimulator] = None,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[BoxFace, ReliabilityEstimate]:
     """Reproduce Table 1: per-location tag read reliability.
 
     Each location is measured in its own run (as the paper did: "We
     performed this experiment for different tag locations"), one tag
     per box, 12 boxes x 12 repetitions = 144 Bernoulli trials per row.
+    ``recorder`` turns observability on for every pass; results are
+    bit-identical with or without it.
     """
     sim = simulator or _make_simulator(single_antenna_portal())
+    if recorder is not None:
+        sim.recorder = recorder
     results: Dict[BoxFace, ReliabilityEstimate] = {}
     for face in locations:
         carrier, boxes = build_box_cart([face])
         epcs = [t.epc for t in carrier.tags]
+        label = f"table1:{face.value}"
         trial_set = run_trials(
-            f"table1:{face.value}",
+            label,
             PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(face.value),
             workers=workers,
         )
+        if recorder is not None:
+            recorder.absorb_trial_set(label, trial_set)
         successes = 0
         for outcome in trial_set.outcomes:
             seen = outcome.read_epcs
@@ -195,6 +204,7 @@ def run_object_redundancy_experiment(
     seed: int = DEFAULT_SEED,
     single_opportunity: Optional[Dict[BoxFace, float]] = None,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> List[RedundancyOutcome]:
     """Reproduce Table 3 / Figure 5: redundancy for object tracking.
 
@@ -206,7 +216,8 @@ def run_object_redundancy_experiment(
     """
     if single_opportunity is None:
         table1 = run_table1_experiment(
-            repetitions=repetitions, seed=seed, workers=workers
+            repetitions=repetitions, seed=seed, workers=workers,
+            recorder=recorder,
         )
         single_opportunity = {face: est.rate for face, est in table1.items()}
 
@@ -218,17 +229,22 @@ def run_object_redundancy_experiment(
             else dual_antenna_portal()
         )
         sim = _make_simulator(portal)
+        if recorder is not None:
+            sim.recorder = recorder
         carrier, boxes = build_box_cart(list(case.faces))
         box_epcs: List[List[str]] = [
             [tag.epc for tag in box.all_tags()] for box in boxes
         ]
+        label = f"table3:{case.name}"
         trial_set = run_trials(
-            f"table3:{case.name}",
+            label,
             PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ stable_hash(case.name),
             workers=workers,
         )
+        if recorder is not None:
+            recorder.absorb_trial_set(label, trial_set)
         successes = 0
         trials = 0
         for outcome in trial_set.outcomes:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Sequence
 from ...core.experiment import DEFAULT_SEED, run_trials
 from ...core.parallel import PassTrialTask
 from ...core.reliability import CountDistribution
+from ...obs.recorder import Recorder
 from ...protocol.epc import EpcFactory
 from ...rf.geometry import Vec3
 from ..motion import StationaryPlacement
@@ -82,8 +83,14 @@ def run_read_range_experiment(
     seed: int = DEFAULT_SEED,
     simulator: PortalPassSimulator = None,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> Dict[float, ReadRangePoint]:
-    """Reproduce Figure 2: mean (and quartiles) of tags read per distance."""
+    """Reproduce Figure 2: mean (and quartiles) of tags read per distance.
+
+    ``recorder``, when given, is attached to the simulator for every
+    pass and absorbs each distance's trial set (observations plus
+    per-trial wall times) — recording never perturbs the results.
+    """
     from ...core.calibration import PaperSetup
 
     setup = PaperSetup()
@@ -92,17 +99,22 @@ def run_read_range_experiment(
         env=setup.env,
         params=setup.params,
     )
+    if recorder is not None:
+        sim.recorder = recorder
     results: Dict[float, ReadRangePoint] = {}
     for distance in distances_m:
         carrier = build_tag_plane(distance)
         epcs = [t.epc for t in carrier.tags]
+        label = f"read-range@{distance}m"
         trial_set = run_trials(
-            f"read-range@{distance}m",
+            label,
             PassTrialTask(simulator=sim, carriers=(carrier,)),
             repetitions,
             seed=seed ^ int(distance * 1000),
             workers=workers,
         )
+        if recorder is not None:
+            recorder.absorb_trial_set(label, trial_set)
         distribution = trial_set.count_distribution(
             lambda r: r.tags_read(epcs), total=len(epcs)
         )

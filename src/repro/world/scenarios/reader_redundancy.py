@@ -21,6 +21,7 @@ from typing import Dict, Optional
 from ...core.experiment import DEFAULT_SEED, run_trials, stable_hash
 from ...core.parallel import PassTrialTask
 from ...core.reliability import ReliabilityEstimate
+from ...obs.recorder import Recorder
 from ..humans import HumanTagPlacement
 from ..portal import Portal, dual_reader_portal, single_antenna_portal
 from ..simulation import PortalPassSimulator
@@ -55,12 +56,14 @@ def _measure(
     repetitions: int,
     seed: int,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ReliabilityEstimate:
     from ...core.calibration import PaperSetup
 
     setup = PaperSetup()
     simulator = PortalPassSimulator(
-        portal=portal, env=setup.env, params=setup.params
+        portal=portal, env=setup.env, params=setup.params,
+        recorder=recorder,
     )
     carrier, humans = build_walk(1, [placement])
     epc = humans[0].tags[0].epc
@@ -71,6 +74,8 @@ def _measure(
         seed=seed ^ stable_hash(label),
         workers=workers,
     )
+    if recorder is not None:
+        recorder.absorb_trial_set(label, trials)
     return trials.success_estimate(lambda r: epc in r.read_epcs)
 
 
@@ -79,12 +84,13 @@ def run_reader_redundancy_experiment(
     repetitions: int = PAPER_REPETITIONS,
     seed: int = DEFAULT_SEED,
     workers: Optional[int] = None,
+    recorder: Optional[Recorder] = None,
 ) -> ReaderRedundancyResult:
     """Measure the three portal builds on the same walking workload."""
     return ReaderRedundancyResult(
         single_reader=_measure(
             single_antenna_portal(), "reader-red:single", placement,
-            repetitions, seed, workers=workers,
+            repetitions, seed, workers=workers, recorder=recorder,
         ),
         dual_no_drm=_measure(
             dual_reader_portal(dense_reader_mode=False),
@@ -93,6 +99,7 @@ def run_reader_redundancy_experiment(
             repetitions,
             seed,
             workers=workers,
+            recorder=recorder,
         ),
         dual_with_drm=_measure(
             dual_reader_portal(dense_reader_mode=True),
@@ -101,5 +108,6 @@ def run_reader_redundancy_experiment(
             repetitions,
             seed,
             workers=workers,
+            recorder=recorder,
         ),
     )

@@ -39,6 +39,13 @@ from typing import (
 if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a cycle
     from ..faults.plan import CoverageReport, FaultPlan
 
+from ..obs.recorder import (
+    PassObservation,
+    PassRecording,
+    Recorder,
+    TracingSeedSequence,
+)
+from ..obs.records import DwellLinkRecord
 from ..protocol.dense_reader import (
     CO_CHANNEL_DWELL_PROBABILITY,
     ReaderRadio,
@@ -53,7 +60,7 @@ from ..protocol.gen2 import (
 from ..protocol.timing import DEFAULT_TIMING, Gen2Timing
 from ..rf.coupling import CouplingModel
 from ..rf.geometry import Vec3, segment_sphere_chord_length
-from ..rf.units import sum_powers_dbm
+from ..rf.units import linear_to_db, sum_powers_dbm
 from ..rf.link import (
     LinkEnvironment,
     LinkGeometry,
@@ -233,6 +240,14 @@ class SimulationParameters:
     #: degraded — since rerouting a passive port to the standby is
     #: cheap and instantly reversible if the owner answers again.
     mux_takeover_delay_s: float = 0.25
+    #: Gen 2 Q-algorithm bounds for each reader's inventory rounds. The
+    #: defaults match :class:`~repro.protocol.gen2.QAlgorithm`; the
+    #: knobs exist so experiments (and the miss-cause tests) can pin the
+    #: frame size — ``q_initial=0, q_max=0`` forces one-slot frames,
+    #: which makes any 2-tag population collide every round.
+    q_initial: int = 4
+    q_min: int = 0
+    q_max: int = 15
 
 
 @dataclass
@@ -247,6 +262,11 @@ class PassResult:
     #: decisions consume this to avoid conflating "tag absent" with
     #: "reader blind".
     coverage: Optional["CoverageReport"] = None
+    #: Frozen observability payload when the simulator held a live
+    #: :class:`~repro.obs.recorder.Recorder`; ``None`` otherwise. Rides
+    #: through pickling, which is how parallel workers ship their
+    #: observations back to the parent with the results.
+    obs: Optional[PassObservation] = None
 
     @property
     def read_epcs(self) -> Set[str]:
@@ -268,11 +288,16 @@ class PortalPassSimulator:
         params: Optional[SimulationParameters] = None,
         timing: Gen2Timing = DEFAULT_TIMING,
         use_link_cache: bool = True,
+        recorder: Optional[Recorder] = None,
     ) -> None:
         self.portal = portal
         self.env = env if env is not None else LinkEnvironment()
         self.params = params if params is not None else SimulationParameters()
         self.timing = timing
+        #: Observability sink; ``None`` (the default) keeps every hook
+        #: site down to a single identity test — no records, no
+        #: allocation, bit-identical results.
+        self.recorder = recorder
         #: The per-pass link cache is bit-identical to direct evaluation
         #: (see :class:`PassLinkCache`); the flag exists for the parity
         #: tests and for A/B benchmarking, not because results differ.
@@ -407,6 +432,7 @@ class PortalPassSimulator:
         fault_loss_db: float,
         seeds: SeedSequence,
         trial: int,
+        rec: Optional[PassRecording] = None,
     ) -> Optional[LinkResult]:
         """Cache-assisted equivalent of the per-round link evaluation.
 
@@ -456,6 +482,29 @@ class PortalPassSimulator:
         )
         if forward_no_fade + MAX_FADING_HEADROOM_DB < self.env.tag_sensitivity_dbm:
             cache.short_circuits += 1
+            if rec is not None:
+                rec.link(
+                    self._link_record(
+                        terms,
+                        tag,
+                        antenna,
+                        reader,
+                        t,
+                        trial,
+                        gain_bonus,
+                        shadowing_db,
+                        obstruction_db,
+                        detuning_db,
+                        coupling_db,
+                        fault_loss_db,
+                        interference_dbm,
+                        fading_db=None,
+                        result=None,
+                    ),
+                    no_fade_margin_db=(
+                        forward_no_fade - self.env.tag_sensitivity_dbm
+                    ),
+                )
             return None
         obstructed_k_penalty = (
             obstruction_db * self.params.k_penalty_per_obstruction_db
@@ -489,7 +538,7 @@ class PortalPassSimulator:
         fading_gain = self.env.channel.fading.degraded(
             obstructed_k_penalty
         ).power_gain_from_normals(normals[0], normals[1])
-        return compose_link(
+        result = compose_link(
             self.env,
             tx_power,
             terms,
@@ -499,6 +548,89 @@ class PortalPassSimulator:
             shadowing_db=shadowing_db,
             fading_power_gain=fading_gain,
             interference_dbm=interference_dbm,
+        )
+        if rec is not None:
+            fading_db = linear_to_db(max(fading_gain, 1e-300))
+            rec.link(
+                self._link_record(
+                    terms,
+                    tag,
+                    antenna,
+                    reader,
+                    t,
+                    trial,
+                    gain_bonus,
+                    shadowing_db,
+                    obstruction_db,
+                    detuning_db,
+                    coupling_db,
+                    fault_loss_db,
+                    interference_dbm,
+                    fading_db=fading_db,
+                    result=result,
+                ),
+                no_fade_margin_db=result.forward_margin_db - fading_db,
+            )
+        return result
+
+    def _link_record(
+        self,
+        terms: LinkTerms,
+        tag: Tag,
+        antenna: AntennaInstallation,
+        reader: ReaderAssignment,
+        t: float,
+        trial: int,
+        gain_bonus: float,
+        shadowing_db: float,
+        obstruction_db: float,
+        detuning_db: float,
+        coupling_db: float,
+        fault_loss_db: float,
+        interference_dbm: Optional[float],
+        fading_db: Optional[float],
+        result: Optional[LinkResult],
+    ) -> DwellLinkRecord:
+        """Build the waterfall record for one evaluation (recording only).
+
+        ``result=None`` means the evaluation short-circuited before the
+        fading draw; the composed-budget fields stay ``None``. Summing
+        the record's terms (gains minus losses, fault loss and cable
+        loss included) reproduces ``forward_power_dbm`` exactly.
+        """
+        return DwellLinkRecord(
+            time=t,
+            trial=trial,
+            reader_id=reader.reader_id,
+            antenna_id=antenna.antenna_id,
+            epc=tag.epc,
+            tx_power_dbm=reader.tx_power_dbm + gain_bonus,
+            cable_loss_db=self.env.cable_loss_db,
+            reader_gain_dbi=terms.reader_gain_dbi,
+            path_gain_db=terms.path_gain_db,
+            shadowing_db=shadowing_db,
+            tag_gain_dbi=terms.tag_gain_dbi,
+            polarization_loss_db=terms.polarization_loss_db,
+            obstruction_db=obstruction_db,
+            detuning_db=detuning_db,
+            coupling_db=coupling_db,
+            fault_loss_db=fault_loss_db,
+            fading_db=fading_db,
+            interference_dbm=interference_dbm,
+            forward_power_dbm=(
+                result.forward_power_dbm if result is not None else None
+            ),
+            forward_margin_db=(
+                result.forward_margin_db if result is not None else None
+            ),
+            reverse_power_dbm=(
+                result.reverse_power_dbm if result is not None else None
+            ),
+            reverse_margin_db=(
+                result.reverse_margin_db if result is not None else None
+            ),
+            energized=result.activated if result is not None else False,
+            short_circuited=result is None,
         )
 
     def _decode_probability(self, result: LinkResult) -> float:
@@ -554,6 +686,14 @@ class PortalPassSimulator:
             epc_index[tag.epc] = (carrier, tag)
         population = list(epc_index.keys())
         duration = max(c.motion.duration_s for c in carriers)
+
+        rec: Optional[PassRecording] = None
+        if self.recorder is not None and self.recorder.enabled:
+            rec = self.recorder.begin_pass(trial)
+            if self.recorder.capture_rng:
+                # Same derivations, same seeds — just logged. The traced
+                # wrapper never perturbs a draw.
+                seeds = TracingSeedSequence(seeds.root_seed, rec)
 
         # Static per-tag coupling and mount-detuning penalties.
         coupling_db: Dict[str, float] = {
@@ -613,6 +753,7 @@ class PortalPassSimulator:
                 interference_rng,
                 fault_plan,
                 cache,
+                rec,
             )
             reader_traces.append(events)
             total_rounds += rounds
@@ -633,11 +774,24 @@ class PortalPassSimulator:
                 ],
                 duration,
             )
+        observation = None
+        if rec is not None:
+            observation = rec.finalize(
+                population=tuple(population),
+                read_epcs=trace.epcs_seen(),
+                first_read_times={
+                    epc: trace.first_read_time(epc) for epc in trace.epcs_seen()
+                },
+                read_counts=trace.read_counts(),
+                headroom_db=MAX_FADING_HEADROOM_DB,
+                had_fault_plan=fault_plan is not None and not fault_plan.is_empty,
+            )
         return PassResult(
             trace=trace,
             duration_s=duration,
             rounds=total_rounds,
             coverage=coverage,
+            obs=observation,
         )
 
     def _run_reader_timeline(
@@ -655,11 +809,16 @@ class PortalPassSimulator:
         interference_rng,
         fault_plan: Optional["FaultPlan"] = None,
         cache: Optional[PassLinkCache] = None,
+        rec: Optional[PassRecording] = None,
     ) -> Tuple[List[TagReadEvent], int]:
         """One reader's full pass: TDMA over its antennas, round after round."""
         protocol_rng = seeds.trial_stream(f"protocol:{reader.reader_id}", trial)
         session = InventorySession()
-        q_algo = QAlgorithm()
+        q_algo = QAlgorithm(
+            q_initial=self.params.q_initial,
+            q_min=self.params.q_min,
+            q_max=self.params.q_max,
+        )
         events: List[TagReadEvent] = []
         rounds = 0
         t = 0.0
@@ -705,6 +864,8 @@ class PortalPassSimulator:
                 reader.reader_id, t
             ):
                 # Crashed or hung: no inventory, no airtime, no reads.
+                if rec is not None:
+                    rec.masked_dwell(t, reader.reader_id, None, "reader_down")
                 t += self.params.tdma_slot_s
                 continue
             if takeovers:
@@ -725,6 +886,13 @@ class PortalPassSimulator:
                 )
                 if silent:
                     # Cable cut: the dwell happens but nothing radiates.
+                    if rec is not None:
+                        rec.masked_dwell(
+                            t,
+                            reader.reader_id,
+                            antenna.antenna_id,
+                            "antenna_silent",
+                        )
                     t += self.params.tdma_slot_s
                     continue
             # A crashed neighbour radiates nothing: drop it from the
@@ -767,6 +935,7 @@ class PortalPassSimulator:
                         fault_loss_db,
                         seeds,
                         trial,
+                        rec,
                     )
                     if result is None:
                         # Forward link provably cannot close this round;
@@ -822,10 +991,74 @@ class PortalPassSimulator:
                     fault_loss_db,
                 )
                 last_result[epc] = result
+                if rec is not None:
+                    # Recompute the per-term breakdown for the waterfall
+                    # record (recording-only work; the uncached hot path
+                    # composed the budget without exposing its terms).
+                    geometry = LinkGeometry(
+                        antenna_position=antenna.position,
+                        antenna_boresight=antenna.boresight,
+                        tag_position=tag_pos,
+                        tag_axis=tag.world_dipole_axis(),
+                    )
+                    tag_gain_override = None
+                    if tag.design is not None:
+                        tag_gain_override = tag.pattern_gain_dbi(
+                            -geometry.direction
+                        )
+                    terms = compute_link_terms(
+                        self.env, geometry, tag_gain_override
+                    )
+                    fading_db = linear_to_db(max(fading_gain, 1e-300))
+                    _, reflector = self._obstruction_db(
+                        carriers, antenna.position, tag_pos, t
+                    )
+                    gain_bonus = (
+                        self.params.reflection_gain_db if reflector else 0.0
+                    )
+                    rec.link(
+                        self._link_record(
+                            terms,
+                            tag,
+                            antenna,
+                            reader,
+                            t,
+                            trial,
+                            gain_bonus,
+                            shadowing[(epc, antenna.antenna_id)],
+                            obstruction_db,
+                            detuning_db[epc],
+                            coupling_db[epc],
+                            fault_loss_db,
+                            interference,
+                            fading_db=fading_db,
+                            result=result,
+                        ),
+                        no_fade_margin_db=result.forward_margin_db - fading_db,
+                    )
                 return TagChannel(
                     energized=result.activated,
                     reply_decode_p=self._decode_probability(result),
                 )
+
+            slot_observer = None
+            if rec is not None:
+                def slot_observer(
+                    outcome,
+                    responders,
+                    _rec=rec,
+                    _reader_id=reader.reader_id,
+                    _antenna_id=antenna.antenna_id,
+                ):
+                    _rec.slot(
+                        outcome.time,
+                        _reader_id,
+                        _antenna_id,
+                        outcome.slot_index,
+                        responders,
+                        outcome.kind,
+                        outcome.epc,
+                    )
 
             round_result = run_inventory_round(
                 population,
@@ -837,8 +1070,11 @@ class PortalPassSimulator:
                 start_time=t,
                 time_budget_s=duration - t,
                 capture_probability=self.params.capture_probability,
+                slot_observer=slot_observer,
             )
             rounds += 1
+            if rec is not None:
+                rec.round_complete()
             for epc in round_result.read_epcs:
                 result = last_result.get(epc)
                 rssi = result.reverse_power_dbm if result else -99.0

@@ -101,3 +101,29 @@ class TestSweep:
     def test_distinct_values_still_accepted(self):
         results = sweep(str, [1.0, 1.001], lambda v: (lambda s, i: v), 1)
         assert set(results) == {1.0, 1.001}
+
+
+class TestTrialTiming:
+    def test_serial_trials_record_wall_times(self):
+        trial_set = run_trials(
+            "timed", lambda seeds, i: i, 4, seed=3
+        )
+        assert len(trial_set.trial_seconds) == 4
+        assert all(s >= 0.0 for s in trial_set.trial_seconds)
+
+    def test_timing_summary_reports_quantiles(self):
+        trial_set = TrialSet(
+            label="t",
+            outcomes=[0, 1, 2, 3],
+            trial_seconds=[0.1, 0.2, 0.3, 0.4],
+        )
+        summary = trial_set.timing_summary()
+        assert summary["count"] == 4
+        assert summary["mean_s"] == pytest.approx(0.25)
+        assert summary["p50_s"] == pytest.approx(0.25)
+        assert summary["p95_s"] == pytest.approx(0.385)
+
+    def test_timing_excluded_from_equality(self):
+        a = TrialSet(label="t", outcomes=[1], trial_seconds=[0.1])
+        b = TrialSet(label="t", outcomes=[1], trial_seconds=[9.9])
+        assert a == b

@@ -1,0 +1,140 @@
+"""One test per miss cause: each enum value has a reproducible recipe.
+
+Every missed tag in a recorded pass carries *exactly one*
+:class:`~repro.obs.records.MissCause`. These tests pin a deterministic
+scenario for each value so the attribution precedence in
+``PassRecording._attribute`` stays honest.
+"""
+
+from dataclasses import replace
+
+from repro.core.calibration import PaperSetup
+from repro.faults.plan import AntennaFault, FaultPlan
+from repro.obs import MissCause, Recorder
+from repro.protocol.epc import EpcFactory
+from repro.rf.geometry import Vec3
+from repro.sim.rng import SeedSequence
+from repro.world.motion import StationaryPlacement
+from repro.world.portal import single_antenna_portal
+from repro.world.simulation import CarrierGroup, PortalPassSimulator
+from repro.world.tags import Tag, TagOrientation
+
+SETUP = PaperSetup()
+
+
+def _tag(epc, y=1.0, z=0.0):
+    return Tag(
+        epc=epc,
+        local_position=Vec3(0.0, y, z),
+        orientation=TagOrientation.CASE_2_HORIZONTAL_FACING,
+    )
+
+
+def _stationary(tags, z, duration_s=0.5):
+    return CarrierGroup(
+        motion=StationaryPlacement(Vec3(0.0, 0.0, z), duration_s=duration_s),
+        tags=tags,
+    )
+
+
+def _run(carrier, params=None, env=None, fault_plan=None, seed=11, trial=0):
+    recorder = Recorder()
+    sim = PortalPassSimulator(
+        portal=single_antenna_portal(),
+        env=env or SETUP.env,
+        params=params or SETUP.params,
+        recorder=recorder,
+    )
+    result = sim.run_pass(
+        [carrier], SeedSequence(seed), trial, fault_plan=fault_plan
+    )
+    return result, result.obs
+
+
+def _epcs(n):
+    factory = EpcFactory()
+    return [factory.next_epc().to_hex() for _ in range(n)]
+
+
+def test_collision():
+    """One-slot frames + no capture: two in-zone tags collide forever."""
+    params = replace(
+        SETUP.params, q_initial=0, q_max=0, capture_probability=0.0
+    )
+    a, b = _epcs(2)
+    carrier = _stationary([_tag(a), _tag(b, z=0.1)], z=0.5)
+    result, obs = _run(carrier, params=params)
+    assert not result.read_epcs
+    causes = obs.miss_causes()
+    assert causes[a] is MissCause.COLLISION
+    assert causes[b] is MissCause.COLLISION
+    for outcome in obs.tag_outcomes:
+        assert outcome.collision_slots > 0
+
+
+def test_not_inventoried():
+    """Deaf reader: the tag energizes and replies, nothing decodes."""
+    env = replace(SETUP.env, reader_sensitivity_dbm=-10.0)
+    (epc,) = _epcs(1)
+    result, obs = _run(_stationary([_tag(epc)], z=0.5), env=env)
+    assert not result.read_epcs
+    assert obs.miss_causes()[epc] is MissCause.NOT_INVENTORIED
+    outcome = obs.outcome_for(epc)
+    assert outcome.energized_dwells > 0
+    assert outcome.solo_garbled_slots > 0
+
+
+def test_fault_masked():
+    """A silent antenna port masks every dwell of a readable tag."""
+    plan = FaultPlan(
+        antenna_faults=(AntennaFault("reader-0", "ant-0", start_s=0.0),)
+    )
+    (epc,) = _epcs(1)
+    result, obs = _run(_stationary([_tag(epc)], z=0.5), fault_plan=plan)
+    assert not result.read_epcs
+    assert obs.miss_causes()[epc] is MissCause.FAULT_MASKED
+    assert obs.masked_dwells
+    assert all(m.reason == "antenna_silent" for m in obs.masked_dwells)
+
+
+def test_under_energized():
+    """Negative margin, but within fading head-room: an unlucky draw."""
+    (epc,) = _epcs(1)
+    result, obs = _run(_stationary([_tag(epc)], z=30.0))
+    assert not result.read_epcs
+    assert obs.miss_causes()[epc] is MissCause.UNDER_ENERGIZED
+    outcome = obs.outcome_for(epc)
+    assert outcome.energized_dwells == 0
+    assert outcome.best_no_fade_margin_db is not None
+    assert outcome.best_no_fade_margin_db < 0.0
+
+
+def test_out_of_zone():
+    """Far beyond the head-room: no draw could ever close the link."""
+    (epc,) = _epcs(1)
+    result, obs = _run(_stationary([_tag(epc)], z=100.0))
+    assert not result.read_epcs
+    assert obs.miss_causes()[epc] is MissCause.OUT_OF_ZONE
+
+
+def test_every_miss_has_exactly_one_cause():
+    """Read tags carry no cause; missed tags carry exactly one."""
+    params = replace(
+        SETUP.params, q_initial=0, q_max=0, capture_probability=0.0
+    )
+    a, b, c = _epcs(3)
+    near = _stationary([_tag(a), _tag(b, z=0.1)], z=0.5)
+    far = _stationary([_tag(c)], z=100.0)
+    recorder = Recorder()
+    sim = PortalPassSimulator(
+        portal=single_antenna_portal(), env=SETUP.env, params=params,
+        recorder=recorder,
+    )
+    result = sim.run_pass([near, far], SeedSequence(11), 0)
+    obs = result.obs
+    assert len(obs.tag_outcomes) == 3
+    for outcome in obs.tag_outcomes:
+        if outcome.read:
+            assert outcome.cause is None
+        else:
+            assert isinstance(outcome.cause, MissCause)

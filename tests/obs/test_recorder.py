@@ -1,0 +1,159 @@
+"""Recorder behaviour: zero-cost off, non-perturbation, aggregation."""
+
+import pickle
+
+from repro.core.calibration import PaperSetup
+from repro.core.experiment import run_trials
+from repro.core.parallel import PassTrialTask
+from repro.obs import Recorder, TracingSeedSequence
+from repro.protocol.epc import EpcFactory
+from repro.rf.geometry import Vec3
+from repro.sim.rng import SeedSequence
+from repro.world.motion import LinearPass, StationaryPlacement
+from repro.world.portal import single_antenna_portal
+from repro.world.simulation import CarrierGroup, PortalPassSimulator
+from repro.world.tags import Tag, TagOrientation
+
+SETUP = PaperSetup()
+
+
+def _carrier(z=0.5, moving=False):
+    tag = Tag(
+        epc=EpcFactory().next_epc().to_hex(),
+        local_position=Vec3(0.0, 1.0, 0.0),
+        orientation=TagOrientation.CASE_2_HORIZONTAL_FACING,
+    )
+    if moving:
+        motion = LinearPass.centered_lane_pass(
+            lane_distance_m=1.0, speed_mps=1.0, half_span_m=1.5, height_m=0.0
+        )
+    else:
+        motion = StationaryPlacement(Vec3(0.0, 0.0, z), duration_s=0.5)
+    return CarrierGroup(motion=motion, tags=[tag])
+
+
+def _sim(recorder=None):
+    return PortalPassSimulator(
+        portal=single_antenna_portal(),
+        env=SETUP.env,
+        params=SETUP.params,
+        recorder=recorder,
+    )
+
+
+class TestZeroCostOff:
+    def test_no_recorder_means_no_observation(self):
+        result = _sim().run_pass([_carrier()], SeedSequence(3), 0)
+        assert result.obs is None
+
+    def test_disabled_recorder_means_no_observation(self):
+        recorder = Recorder(enabled=False)
+        result = _sim(recorder).run_pass([_carrier()], SeedSequence(3), 0)
+        assert result.obs is None
+
+
+class TestNonPerturbation:
+    def test_recording_never_changes_outcomes(self):
+        """Hooks consume no randomness: results are bit-identical with
+        recording on (even at full capture) or off."""
+        carrier = _carrier(moving=True)
+        plain = _sim().run_pass([carrier], SeedSequence(9), 2)
+        recorder = Recorder(
+            capture_link_budget=True, capture_slots=True, capture_rng=True
+        )
+        recorded = _sim(recorder).run_pass([carrier], SeedSequence(9), 2)
+        assert recorded.read_epcs == plain.read_epcs
+        assert [e.time for e in recorded.trace] == [
+            e.time for e in plain.trace
+        ]
+        assert recorded.rounds == plain.rounds
+
+    def test_tracing_seeds_are_the_plain_seeds(self):
+        recorder = Recorder(capture_rng=True)
+        recording = recorder.begin_pass(0)
+        traced = TracingSeedSequence(5, recording)
+        plain = SeedSequence(5)
+        assert traced.stream("x").seed == plain.stream("x").seed
+        assert (
+            traced.trial_stream("y", 3).seed == plain.trial_stream("y", 3).seed
+        )
+
+    def test_tracing_dedupes_rederivations(self):
+        recorder = Recorder(capture_rng=True)
+        recording = recorder.begin_pass(0)
+        traced = TracingSeedSequence(5, recording)
+        traced.stream("x")
+        traced.stream("x")
+        observation = recording.finalize(
+            population=(), read_epcs=set(), first_read_times={},
+            read_counts={}, headroom_db=20.0, had_fault_plan=False,
+        )
+        assert len(observation.rng_records) == 1
+
+
+class TestObservation:
+    def test_observation_pickles(self):
+        recorder = Recorder(capture_link_budget=True, capture_slots=True)
+        result = _sim(recorder).run_pass([_carrier()], SeedSequence(3), 0)
+        clone = pickle.loads(pickle.dumps(result.obs))
+        assert clone == result.obs
+
+    def test_link_record_cap_truncates(self):
+        recorder = Recorder(capture_link_budget=True, max_records_per_pass=5)
+        far = CarrierGroup(
+            motion=StationaryPlacement(Vec3(0.0, 0.0, 30.0), duration_s=2.0),
+            tags=_carrier().tags,
+        )
+        result = _sim(recorder).run_pass([far], SeedSequence(3), 0)
+        assert len(result.obs.link_records) == 5
+        assert result.obs.truncated_link_records > 0
+
+    def test_waterfall_reproduces_forward_power(self):
+        """Summing a link record's waterfall terms reproduces the
+        recorded forward power exactly — the explain-pipeline invariant."""
+        from repro.obs.explain import record_waterfall
+
+        recorder = Recorder(capture_link_budget=True)
+        result = _sim(recorder).run_pass([_carrier()], SeedSequence(3), 0)
+        checked = 0
+        for record in result.obs.link_records:
+            if record.short_circuited:
+                continue
+            total = sum(value for _, value in record_waterfall(record))
+            assert abs(total - record.forward_power_dbm) < 1e-9
+            checked += 1
+        assert checked > 0
+
+
+class TestAggregation:
+    def test_absorb_trial_set_collects_everything(self):
+        recorder = Recorder()
+        sim = _sim(recorder)
+        carrier = _carrier(moving=True)
+        trial_set = run_trials(
+            "obs-test",
+            PassTrialTask(simulator=sim, carriers=(carrier,)),
+            3,
+            seed=17,
+        )
+        recorder.absorb_trial_set("obs-test", trial_set)
+        assert len(recorder.observations) == 3
+        assert recorder.metrics.timer("trial.wall_s").count == 3
+        assert recorder.metrics.timer("trial.wall_s[obs-test]").count == 3
+        assert recorder.metrics.counter("pass.rounds").value > 0
+        assert recorder.events  # tag outcomes at minimum
+
+    def test_miss_cause_counts_match_observations(self):
+        recorder = Recorder()
+        sim = _sim(recorder)
+        far = _carrier(z=100.0)
+        trial_set = run_trials(
+            "obs-far",
+            PassTrialTask(simulator=sim, carriers=(far,)),
+            2,
+            seed=17,
+        )
+        recorder.absorb_trial_set("obs-far", trial_set)
+        counts = recorder.miss_cause_counts()
+        assert sum(counts.values()) == 2
+        assert counts.get("out_of_zone") == 2

@@ -187,3 +187,55 @@ class TestReadRange:
         assert free_space_read_range_m(
             env, power, step_m=0.25
         ) <= free_space_read_range_m(env, power + 1.0, step_m=0.25)
+
+
+class TestForwardWaterfall:
+    def test_sums_to_compose_link_forward_power(self):
+        """The waterfall is the itemised form of compose_link's forward
+        budget: summing its contributions reproduces the power exactly."""
+        from repro.rf.link import LinkTerms, compose_link, forward_waterfall
+
+        env = _clean_env()
+        terms = LinkTerms(
+            reader_gain_dbi=6.0,
+            tag_gain_dbi=1.5,
+            polarization_loss_db=3.0,
+            path_gain_db=-38.25,
+        )
+        result = compose_link(
+            env, 30.0, terms,
+            obstruction_loss_db=4.0, tag_detuning_db=0.5,
+            coupling_penalty_db=1.25, shadowing_db=-2.0,
+        )
+        waterfall = forward_waterfall(
+            tx_power_dbm=30.0,
+            cable_loss_db=env.cable_loss_db,
+            reader_gain_dbi=terms.reader_gain_dbi,
+            path_gain_db=terms.path_gain_db,
+            shadowing_db=-2.0,
+            tag_gain_dbi=terms.tag_gain_dbi,
+            polarization_loss_db=terms.polarization_loss_db,
+            obstruction_db=4.0,
+            detuning_db=0.5,
+            coupling_db=1.25,
+        )
+        total = sum(value for _, value in waterfall)
+        assert total == pytest.approx(result.forward_power_dbm, abs=1e-9)
+
+    def test_losses_enter_negated(self):
+        from repro.rf.link import forward_waterfall
+
+        waterfall = dict(
+            forward_waterfall(
+                tx_power_dbm=30.0, cable_loss_db=1.0, reader_gain_dbi=6.0,
+                path_gain_db=-40.0, shadowing_db=0.0, tag_gain_dbi=1.0,
+                polarization_loss_db=3.0, obstruction_db=2.0,
+                detuning_db=0.5, coupling_db=0.25, fault_loss_db=4.0,
+                fading_db=1.5,
+            )
+        )
+        assert waterfall["cable loss"] == -1.0
+        assert waterfall["port fault loss"] == -4.0
+        assert waterfall["obstruction loss"] == -2.0
+        assert waterfall["small-scale fading"] == 1.5
+        assert len(waterfall) == 12

@@ -109,3 +109,31 @@ class TestReadTrace:
         trace = ReadTrace()
         trace.record(_event(1.0))
         assert [e.time for e in trace] == [1.0]
+
+
+class TestEpcIndex:
+    def test_index_is_built_lazily_and_reused(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, epc="A" * 24))
+        assert trace._epc_index is None
+        assert trace.was_read("A" * 24)
+        first = trace._epc_index
+        assert first is not None
+        trace.reads_of("A" * 24)
+        assert trace._epc_index is first
+
+    def test_record_invalidates_the_index(self):
+        trace = ReadTrace()
+        trace.record(_event(1.0, epc="A" * 24))
+        assert trace.was_read("A" * 24)
+        trace.record(_event(2.0, epc="B" * 24))
+        assert trace._epc_index is None
+        assert trace.was_read("B" * 24)
+        assert trace.read_counts() == {"A" * 24: 1, "B" * 24: 1}
+
+    def test_index_never_affects_equality(self):
+        queried, fresh = ReadTrace(), ReadTrace()
+        queried.record(_event(1.0))
+        fresh.record(_event(1.0))
+        queried.was_read("nope")
+        assert queried == fresh

@@ -19,6 +19,7 @@ PACKAGES = (
     "repro.reader",
     "repro.core",
     "repro.analysis",
+    "repro.obs",
 )
 
 
