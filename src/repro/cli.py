@@ -13,6 +13,8 @@ Examples
     python -m repro plan --target 0.995
     python -m repro report
     python -m repro bench --quick
+    python -m repro validate
+    python -m repro validate --bless --golden cart-front
 
 Every experiment command accepts ``--reps``, ``--seed`` and
 ``--workers`` (trial fan-out over a process pool; defaults to the
@@ -545,6 +547,31 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_validate(args: argparse.Namespace) -> int:
+    import os
+
+    from .validate import bless_golden, run_validation
+
+    if args.bless:
+        paths = bless_golden(args.golden or None)
+        payload = {"command": "validate", "blessed": paths}
+        text = "blessed golden documents:\n" + "\n".join(
+            f"  {path}" for path in paths
+        )
+        return _finish(args, payload, text)
+    deep = args.deep or os.environ.get(
+        "REPRO_VALIDATE_DEEP", ""
+    ).strip().lower() in ("1", "true", "yes")
+    report = run_validation(
+        pillars=args.pillar or None,
+        seed=args.seed,
+        deep=deep,
+        checks=args.check or None,
+    )
+    _finish(args, report.to_payload(), report.render())
+    return report.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core.report import rebuild_experiments_md
 
@@ -654,6 +681,54 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--max-antennas", type=int, default=4)
     _add_json(plan)
     plan.set_defaults(handler=_cmd_plan)
+
+    validate = sub.add_parser(
+        "validate",
+        help=(
+            "run the validation suite: physics invariants, metamorphic "
+            "relations, and the golden-trace regression pins (exit code "
+            "0 only when every check passes)"
+        ),
+    )
+    validate.add_argument(
+        "--pillar", action="append",
+        choices=("invariants", "metamorphic", "golden"),
+        help="run only this pillar (repeatable; default: all three)",
+    )
+    validate.add_argument(
+        "--check", action="append", metavar="NAME",
+        help=(
+            "run only the named check (repeatable; golden checks are "
+            "named golden:<scenario>)"
+        ),
+    )
+    validate.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help=(
+            "root seed for the stochastic sweeps (golden scenarios pin "
+            "their own seeds and ignore this)"
+        ),
+    )
+    validate.add_argument(
+        "--deep", action="store_true",
+        help=(
+            "widen every sweep (nightly profile; also enabled by "
+            "REPRO_VALIDATE_DEEP=1)"
+        ),
+    )
+    validate.add_argument(
+        "--bless", action="store_true",
+        help=(
+            "re-pin the golden-trace documents under tests/golden/ "
+            "instead of checking them (the intentional-drift flow)"
+        ),
+    )
+    validate.add_argument(
+        "--golden", action="append", metavar="SCENARIO",
+        help="restrict --bless to this scenario (repeatable)",
+    )
+    _add_json(validate)
+    validate.set_defaults(handler=_cmd_validate)
 
     report = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from benchmark results"

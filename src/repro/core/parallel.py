@@ -126,21 +126,24 @@ def _run_trial_chunk_timed(
     root_seed: int,
     start: int,
     stop: int,
-) -> List[Tuple[T, float]]:
+) -> List[Tuple[int, T, float]]:
     """Like :func:`_run_trial_chunk`, pairing each outcome with its
-    wall time in seconds.
+    trial index and wall time in seconds.
 
     The timing rides home **with the result** — workers share no state
     with the parent, so this is how per-trial latency from a process
     pool reaches the run's metrics registry. Outcomes are unaffected:
     the clock reads bracket the trial call and touch nothing inside it.
+    The explicit trial index is what lets :func:`gather_timed_trials`
+    re-establish trial order without relying on futures being iterated
+    in submission order.
     """
     seeds = SeedSequence(root_seed)
-    timed: List[Tuple[T, float]] = []
+    timed: List[Tuple[int, T, float]] = []
     for trial in range(start, stop):
         began = time.perf_counter()
         outcome = task(seeds, trial)
-        timed.append((outcome, time.perf_counter() - began))
+        timed.append((trial, outcome, time.perf_counter() - began))
     return timed
 
 
@@ -208,7 +211,7 @@ def submit_timed_trials(
     repetitions: int,
     root_seed: int,
     chunks: int,
-) -> List["Future[List[Tuple[T, float]]]"]:
+) -> List["Future[List[Tuple[int, T, float]]]"]:
     """Timed counterpart of :func:`submit_trials`."""
     return [
         executor.submit(_run_trial_chunk_timed, task, root_seed, start, stop)
@@ -217,16 +220,23 @@ def submit_timed_trials(
 
 
 def gather_timed_trials(
-    futures: Sequence["Future[List[Tuple[T, float]]]"],
+    futures: Sequence["Future[List[Tuple[int, T, float]]]"],
 ) -> Tuple[List[T], List[float]]:
     """Collect timed chunks back into (outcomes, seconds), both in
-    trial-index order."""
-    outcomes: List[T] = []
-    seconds: List[float] = []
+    trial-index order.
+
+    Order is re-established by **sorting on the trial index each chunk
+    carries**, not by assuming the futures arrive in submission order —
+    so outcomes and their wall times stay aligned with the serial loop
+    (``TrialSet.trial_seconds[i]`` belongs to ``outcomes[i]``) no matter
+    how the caller sequences or re-collects its futures.
+    """
+    indexed: List[Tuple[int, T, float]] = []
     for future in futures:
-        for outcome, elapsed in future.result():
-            outcomes.append(outcome)
-            seconds.append(elapsed)
+        indexed.extend(future.result())
+    indexed.sort(key=lambda item: item[0])
+    outcomes = [outcome for _, outcome, _ in indexed]
+    seconds = [elapsed for _, _, elapsed in indexed]
     return outcomes, seconds
 
 

@@ -442,4 +442,9 @@ def free_space_read_range_m(
     for k in range(lo, 0, -1):
         if _readable_at(env, tx_power_dbm, k * step_m):
             return k * step_m
+    # The envelope admitted a bracket, but the *exact* link closes
+    # nowhere on the grid — not even at the minimum distance (the
+    # envelope sits above the true two-ray gain, so this is a real
+    # case, not dead code). Report "no read range" rather than the
+    # stale envelope bracket ``lo * step_m``.
     return 0.0

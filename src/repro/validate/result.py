@@ -1,0 +1,117 @@
+"""Check results and the validation report the CLI renders.
+
+A check is one named assertion sweep; its result carries enough detail
+to debug a failure without re-running anything: the law being checked,
+the measured quantities, and — on failure — the first counterexample
+found. The report aggregates per pillar and maps onto a process exit
+code, which is what makes ``python -m repro validate`` CI-gateable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one validation check."""
+
+    #: Stable identifier, e.g. ``"link_reciprocity"``.
+    name: str
+    #: "invariants", "metamorphic", or "golden".
+    pillar: str
+    passed: bool
+    #: One-line human summary; on failure, the first counterexample.
+    detail: str
+    #: Measured quantities backing the verdict (JSON-safe values only).
+    metrics: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "pillar": self.pillar,
+            "passed": self.passed,
+            "detail": self.detail,
+            "metrics": dict(self.metrics),
+        }
+
+
+def failed(
+    name: str, pillar: str, detail: str, **metrics: Any
+) -> CheckResult:
+    """A failing :class:`CheckResult` (counterexample in ``detail``)."""
+    return CheckResult(
+        name=name, pillar=pillar, passed=False, detail=detail, metrics=metrics
+    )
+
+
+def ok(name: str, pillar: str, detail: str, **metrics: Any) -> CheckResult:
+    """A passing :class:`CheckResult`."""
+    return CheckResult(
+        name=name, pillar=pillar, passed=True, detail=detail, metrics=metrics
+    )
+
+
+@dataclass
+class ValidationReport:
+    """Every check result of one ``repro validate`` run."""
+
+    results: List[CheckResult] = field(default_factory=list)
+    seed: int = 0
+    deep: bool = False
+
+    def add(self, result: CheckResult) -> None:
+        self.results.append(result)
+
+    def extend(self, results: List[CheckResult]) -> None:
+        self.results.extend(results)
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results) and bool(self.results)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when every check passed, 1 otherwise (including no checks)."""
+        return 0 if self.passed else 1
+
+    @property
+    def failures(self) -> List[CheckResult]:
+        return [r for r in self.results if not r.passed]
+
+    def by_pillar(self) -> Dict[str, List[CheckResult]]:
+        grouped: Dict[str, List[CheckResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.pillar, []).append(result)
+        return grouped
+
+    def counts(self) -> Tuple[int, int]:
+        """(passed, total)."""
+        return sum(1 for r in self.results if r.passed), len(self.results)
+
+    def to_payload(self) -> Dict[str, Any]:
+        passed, total = self.counts()
+        return {
+            "command": "validate",
+            "seed": self.seed,
+            "deep": self.deep,
+            "passed": passed,
+            "total": total,
+            "ok": self.passed,
+            "checks": [r.to_dict() for r in self.results],
+        }
+
+    def render(self) -> str:
+        """ASCII summary, one line per check, grouped by pillar."""
+        lines: List[str] = []
+        for pillar, results in self.by_pillar().items():
+            n_ok = sum(1 for r in results if r.passed)
+            lines.append(f"{pillar} ({n_ok}/{len(results)})")
+            for result in results:
+                mark = "ok " if result.passed else "FAIL"
+                lines.append(f"  [{mark}] {result.name}: {result.detail}")
+        passed, total = self.counts()
+        verdict = "PASS" if self.passed else "FAIL"
+        lines.append(f"validate: {verdict} ({passed}/{total} checks)")
+        return "\n".join(lines)

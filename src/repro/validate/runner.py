@@ -1,0 +1,109 @@
+"""Drives the three validation pillars and aggregates the report.
+
+One crashed check must not hide the verdicts of the others, so every
+check runs inside a guard that converts an unexpected exception into a
+failing :class:`~repro.validate.result.CheckResult` — the report stays
+complete and the exit code still goes nonzero.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from ..core.experiment import DEFAULT_SEED
+from .golden import check_golden
+from .invariants import INVARIANT_CHECKS
+from .metamorphic import METAMORPHIC_CHECKS
+from .result import CheckResult, ValidationReport, failed
+
+#: Pillars in report order; ``--pillar`` accepts any subset.
+PILLARS: Tuple[str, ...] = ("invariants", "metamorphic", "golden")
+
+
+def _guarded(
+    name: str,
+    pillar: str,
+    fn: Callable[[int, bool], CheckResult],
+    seed: int,
+    deep: bool,
+) -> CheckResult:
+    try:
+        return fn(seed, deep)
+    except Exception as exc:  # noqa: BLE001 - the guard is the point
+        trace = traceback.format_exc(limit=3)
+        return failed(
+            name,
+            pillar,
+            f"check crashed: {exc!r}",
+            traceback=trace,
+        )
+
+
+def run_validation(
+    pillars: Optional[Iterable[str]] = None,
+    seed: int = DEFAULT_SEED,
+    deep: bool = False,
+    checks: Optional[Iterable[str]] = None,
+) -> ValidationReport:
+    """Run the selected pillars and return the aggregated report.
+
+    Parameters
+    ----------
+    pillars:
+        Subset of :data:`PILLARS` to run (``None`` = all, in order).
+    seed:
+        Root seed for the stochastic sweeps. Golden scenarios ignore it
+        by design — they pin their own seeds.
+    deep:
+        Widen every sweep (the ``REPRO_VALIDATE_DEEP=1`` profile).
+    checks:
+        Restrict to specific check names (golden checks are named
+        ``golden:<scenario>``); unknown names are reported as failures
+        rather than silently skipped.
+    """
+    selected = list(pillars) if pillars is not None else list(PILLARS)
+    unknown = [p for p in selected if p not in PILLARS]
+    if unknown:
+        raise ValueError(
+            f"unknown pillar(s) {unknown!r}; known: {', '.join(PILLARS)}"
+        )
+    wanted = set(checks) if checks is not None else None
+    matched: set = set()
+    report = ValidationReport(seed=seed, deep=deep)
+    for pillar in PILLARS:
+        if pillar not in selected:
+            continue
+        if pillar == "golden":
+            golden_names: Optional[List[str]] = None
+            if wanted is not None:
+                golden_names = [
+                    name.split(":", 1)[1]
+                    for name in wanted
+                    if name.startswith("golden:")
+                ]
+                matched.update(
+                    name for name in wanted if name.startswith("golden:")
+                )
+                if not golden_names:
+                    continue
+            report.extend(check_golden(names=golden_names, deep=deep))
+            continue
+        registry = (
+            INVARIANT_CHECKS if pillar == "invariants" else METAMORPHIC_CHECKS
+        )
+        for name, fn in registry.items():
+            if wanted is not None and name not in wanted:
+                continue
+            matched.add(name)
+            report.add(_guarded(name, pillar, fn, seed, deep))
+    if wanted is not None:
+        for name in sorted(wanted - matched):
+            report.add(
+                failed(
+                    name,
+                    "unknown",
+                    f"no check named {name!r} in the selected pillars",
+                )
+            )
+    return report

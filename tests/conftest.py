@@ -1,6 +1,40 @@
-"""Shared pytest configuration."""
+"""Shared pytest configuration.
+
+Hypothesis profiles: property tests must be reproducible in CI, so the
+``ci`` profile runs derandomized (examples derive from the test body,
+not a random seed) with no deadline — simulator passes are slow and a
+wall-clock deadline would flake. The ``deep`` profile widens the search
+for scheduled runs; ``default`` just drops the deadline for local runs.
+Select with ``HYPOTHESIS_PROFILE=ci|deep`` (default: ``default``).
+"""
+
+import os
 
 import pytest
+
+try:
+    from hypothesis import HealthCheck, settings
+
+    _SUPPRESSED = [HealthCheck.too_slow]
+    settings.register_profile(
+        "default", deadline=None, suppress_health_check=_SUPPRESSED
+    )
+    settings.register_profile(
+        "ci",
+        deadline=None,
+        derandomize=True,
+        max_examples=10,
+        suppress_health_check=_SUPPRESSED,
+    )
+    settings.register_profile(
+        "deep",
+        deadline=None,
+        max_examples=50,
+        suppress_health_check=_SUPPRESSED,
+    )
+    settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
+except ImportError:  # pragma: no cover - hypothesis is a test extra
+    pass
 
 
 def pytest_configure(config):

@@ -112,3 +112,65 @@ class TestScenarioParity:
         serial = run_fault_rate_sweep(workers=1, **kwargs)
         parallel = run_fault_rate_sweep(workers=3, **kwargs)
         assert parallel == serial
+
+
+class TestSweepTrialOrdering:
+    """A parallel sweep must keep per-trial ``trial_seconds`` aligned
+    with outcomes in (config key, trial index) order, exactly like the
+    serial loop — ``TrialSet`` excludes timings from ``==``, so this is
+    pinned explicitly."""
+
+    @staticmethod
+    def _sweep(workers):
+        from repro.core.experiment import sweep
+        from repro.core.parallel import PassTrialTask
+        from repro.obs.explain import EXPLAIN_SCENARIOS
+
+        sim, carriers = EXPLAIN_SCENARIOS["walk"].build()
+        task = PassTrialTask(simulator=sim, carriers=tuple(carriers))
+        return sweep(
+            label_fn=lambda v: f"ordering@{v:g}",
+            values=[1.0, 2.0, 3.0],
+            trial_fn_factory=lambda v: task,
+            repetitions=5,
+            seed=SEED,
+            workers=workers,
+        )
+
+    def test_parallel_sweep_preserves_trial_order(self):
+        serial = self._sweep(workers=1)
+        parallel = self._sweep(workers=2)
+        assert parallel == serial
+        assert list(parallel) == list(serial) == [1.0, 2.0, 3.0]
+        for value, serial_set in serial.items():
+            parallel_set = parallel[value]
+            # One wall time per trial, aligned with the outcome at the
+            # same index, for every sweep point.
+            assert len(parallel_set.trial_seconds) == len(
+                parallel_set.outcomes
+            )
+            assert parallel_set.outcomes == serial_set.outcomes
+            assert all(s >= 0.0 for s in parallel_set.trial_seconds)
+
+    def test_gather_restores_order_from_shuffled_futures(self):
+        """gather_timed_trials must not depend on future iteration
+        order: chunks handed over reversed still merge to trial order."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.core.parallel import (
+            PassTrialTask,
+            gather_timed_trials,
+            submit_timed_trials,
+        )
+        from repro.obs.explain import EXPLAIN_SCENARIOS
+        from repro.sim.rng import SeedSequence
+
+        sim, carriers = EXPLAIN_SCENARIOS["walk"].build()
+        task = PassTrialTask(simulator=sim, carriers=tuple(carriers))
+        reps = 5
+        serial = [task(SeedSequence(SEED), t) for t in range(reps)]
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = submit_timed_trials(pool, task, reps, SEED, 3)
+            outcomes, seconds = gather_timed_trials(list(reversed(futures)))
+        assert outcomes == serial
+        assert len(seconds) == reps

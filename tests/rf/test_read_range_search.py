@@ -74,6 +74,48 @@ class TestSearchEqualsLinearScan:
             _linear_scan_read_range_m(env, 30.0, step_m=-0.1)
 
 
+class TestEnvelopeBracketNeverCloses:
+    """The envelope may admit a bracket the exact link never honours:
+    the search must then return 0.0, never the stale bracket."""
+
+    def test_zero_when_nothing_readable_inside_bracket(self, monkeypatch):
+        import repro.rf.link as link_mod
+
+        env = _env(True)
+        # Force the regression shape directly: the envelope closes at
+        # the minimum grid distance, but no exact link closes anywhere.
+        monkeypatch.setattr(
+            link_mod, "_forward_closes_upper_bound", lambda *a: True
+        )
+        monkeypatch.setattr(link_mod, "_readable_at", lambda *a: False)
+        assert link_mod.free_space_read_range_m(env, 30.0, step_m=0.1) == 0.0
+
+    def test_matches_oracle_across_threshold_powers(self):
+        # Sweep conducted power through the regime where the envelope
+        # still brackets but the exact link stops closing: the search
+        # must track the oracle to exactly 0.0, with no stale bound.
+        env = _env(True)
+        saw_zero = False
+        for decipower in range(-150, 20, 5):
+            power = decipower / 10.0
+            fast = free_space_read_range_m(env, power, step_m=0.1)
+            slow = _linear_scan_read_range_m(env, power, step_m=0.1)
+            assert fast == slow
+            if fast == 0.0:
+                saw_zero = True
+        assert saw_zero
+
+    def test_tiny_max_range_never_closing(self):
+        env = _env(True)
+        fast = free_space_read_range_m(
+            env, -20.0, step_m=0.05, max_range_m=0.2
+        )
+        slow = _linear_scan_read_range_m(
+            env, -20.0, step_m=0.05, max_range_m=0.2
+        )
+        assert fast == slow == 0.0
+
+
 class TestEnvelopeBound:
     @pytest.mark.parametrize("exponent", [2.0, 2.6])
     def test_upper_bound_dominates_exact_gain(self, exponent):

@@ -1,0 +1,103 @@
+"""The invariant pillar: fast checks pass on the pristine tree, and the
+reciprocity check actually *fails* when the link physics is broken.
+
+The injection test is the acceptance contract of the whole pillar: a
+checker that cannot detect a deliberately non-reciprocal channel is
+decoration, not validation.
+"""
+
+import dataclasses
+import math
+
+import repro.rf.link as link_mod
+from repro.validate.invariants import (
+    INVARIANT_CHECKS,
+    check_antenna_pattern_symmetry,
+    check_link_reciprocity,
+    check_monotone_tx_power,
+    expected_frame_successes,
+)
+
+SEED = 20070625
+
+
+class TestRegistry:
+    def test_all_checks_registered(self):
+        assert list(INVARIANT_CHECKS) == [
+            "link_reciprocity",
+            "antenna_pattern_symmetry",
+            "monotone_tx_power",
+            "monotone_distance",
+            "monotone_tag_count",
+            "independence_model",
+            "aloha_efficiency",
+        ]
+
+
+class TestFastChecksPass:
+    def test_link_reciprocity(self):
+        result = check_link_reciprocity(SEED, deep=False)
+        assert result.passed, result.detail
+        assert result.pillar == "invariants"
+
+    def test_antenna_pattern_symmetry(self):
+        result = check_antenna_pattern_symmetry(SEED, deep=False)
+        assert result.passed, result.detail
+
+    def test_monotone_tx_power(self):
+        result = check_monotone_tx_power(SEED, deep=False)
+        assert result.passed, result.detail
+
+
+class TestExpectedFrameSuccesses:
+    def test_solo_tag_always_succeeds(self):
+        assert expected_frame_successes(1, 16) == 1.0
+
+    def test_matches_analytical_form(self):
+        n, frame = 32, 32
+        expected = n * (1.0 - 1.0 / frame) ** (n - 1)
+        assert math.isclose(
+            expected_frame_successes(n, frame), expected, rel_tol=1e-12
+        )
+
+    def test_throughput_peaks_at_frame_equals_population(self):
+        n = 32
+        efficiency = {
+            frame: expected_frame_successes(n, frame) / frame
+            for frame in (8, 16, 32, 64, 128)
+        }
+        assert max(efficiency, key=efficiency.get) == n
+
+
+class TestReciprocityViolationDetected:
+    def test_reverse_only_perturbation_fails_the_check(self, monkeypatch):
+        """Inflate only the reverse link: the one-way gains diverge and
+        the checker must report the asymmetry, not average it away."""
+        original = link_mod.compose_link
+
+        def lopsided(*args, **kwargs):
+            result = original(*args, **kwargs)
+            return dataclasses.replace(
+                result,
+                reverse_power_dbm=result.reverse_power_dbm + 3.0,
+            )
+
+        monkeypatch.setattr(link_mod, "compose_link", lopsided)
+        result = check_link_reciprocity(SEED, deep=False)
+        assert not result.passed
+        assert "asymmetric" in result.detail
+        # The counterexample carries both gains for debugging.
+        assert result.metrics["g_forward_db"] != result.metrics["g_reverse_db"]
+
+    def test_forward_only_perturbation_also_fails(self, monkeypatch):
+        original = link_mod.compose_link
+
+        def lopsided(*args, **kwargs):
+            result = original(*args, **kwargs)
+            return dataclasses.replace(
+                result,
+                forward_power_dbm=result.forward_power_dbm - 1.5,
+            )
+
+        monkeypatch.setattr(link_mod, "compose_link", lopsided)
+        assert not check_link_reciprocity(SEED, deep=False).passed

@@ -1,0 +1,109 @@
+"""Unit tests for the statistical-equivalence helpers.
+
+Interval arithmetic bugs silently turn every stochastic invariant into
+a tautology (or a flake), so these pins are deliberately exact.
+"""
+
+import math
+
+import pytest
+
+from repro.validate.statistics import (
+    Agreement,
+    Z_95,
+    binomial_agreement,
+    holm_all_within,
+    mean_confidence_interval,
+    wilson_interval,
+)
+
+
+class TestWilsonInterval:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.3 < high
+
+    def test_bounded_to_unit_interval(self):
+        # At p=0 the algebra gives low == centre - half == 0 up to
+        # float residue; the clamp guarantees it never goes negative.
+        low, high = wilson_interval(0, 10)
+        assert 0.0 <= low < 1e-12 and high < 1.0
+        low, high = wilson_interval(10, 10)
+        assert low > 0.0 and 1.0 - 1e-12 < high <= 1.0
+
+    def test_symmetric_at_half(self):
+        low, high = wilson_interval(50, 100)
+        assert math.isclose(0.5 - low, high - 0.5, rel_tol=1e-12)
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(50, 100)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+    def test_known_value_against_closed_form(self):
+        # Hand-computed Wilson bounds for 8/10 at z = Z_95.
+        n, p, z = 10.0, 0.8, Z_95
+        denom = 1.0 + z * z / n
+        centre = (p + z * z / (2 * n)) / denom
+        half = (z / denom) * math.sqrt(p * (1 - p) / n + z * z / (4 * n * n))
+        low, high = wilson_interval(8, 10)
+        assert math.isclose(low, centre - half, rel_tol=1e-12)
+        assert math.isclose(high, centre + half, rel_tol=1e-12)
+
+
+class TestAgreement:
+    def test_within(self):
+        a = Agreement(measured=0.5, predicted=0.52, low=0.45, high=0.55)
+        assert a.within and not a.below
+
+    def test_below_means_measured_shortfall(self):
+        a = Agreement(measured=0.5, predicted=0.60, low=0.45, high=0.55)
+        assert a.below and not a.within
+
+    def test_prediction_under_interval(self):
+        a = Agreement(measured=0.5, predicted=0.40, low=0.45, high=0.55)
+        assert not a.within and not a.below
+
+    def test_binomial_agreement_wires_counts(self):
+        a = binomial_agreement(30, 100, predicted=0.3)
+        assert a.measured == 0.3
+        assert a.predicted == 0.3
+        assert a.within
+
+
+class TestMeanConfidenceInterval:
+    def test_single_value_degenerates(self):
+        assert mean_confidence_interval([2.5]) == (2.5, 2.5, 2.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([])
+
+    def test_known_sample(self):
+        values = [1.0, 2.0, 3.0]
+        mean, low, high = mean_confidence_interval(values)
+        assert mean == 2.0
+        # Sample variance 1.0, n=3 -> half-width z/sqrt(3).
+        assert math.isclose(high - mean, Z_95 / math.sqrt(3), rel_tol=1e-12)
+        assert math.isclose(mean - low, high - mean, rel_tol=1e-12)
+
+
+class TestHolmAllWithin:
+    def test_all_within_passes(self):
+        hits = [Agreement(0.5, 0.5, 0.4, 0.6)] * 5
+        assert holm_all_within(hits)
+
+    def test_allowance_consumed_by_misses(self):
+        hit = Agreement(0.5, 0.5, 0.4, 0.6)
+        miss = Agreement(0.5, 0.9, 0.4, 0.6)
+        assert holm_all_within([hit, miss], allow_misses=1)
+        assert not holm_all_within([hit, miss, miss], allow_misses=1)
+        assert not holm_all_within([miss], allow_misses=0)
