@@ -15,6 +15,8 @@ Examples
     python -m repro bench --quick
     python -m repro validate
     python -m repro validate --bless --golden cart-front
+    python -m repro lint src/ --json
+    python -m repro lint --list-rules
 
 Every experiment command accepts ``--reps``, ``--seed`` and
 ``--workers`` (trial fan-out over a process pool; defaults to the
@@ -75,6 +77,14 @@ def _add_common(parser: argparse.ArgumentParser, default_reps: int) -> None:
             "(tag outcomes, miss causes, supervision events) into DIR"
         ),
     )
+    parser.add_argument(
+        "--started-at", metavar="ISO8601", default=None,
+        help=(
+            "timestamp stamped into manifest.json with --record "
+            "(default: current UTC time; pass explicitly to make the "
+            "recorded run a pure function of its inputs)"
+        ),
+    )
     _add_json(parser)
 
 
@@ -85,6 +95,23 @@ def _make_recorder(args: argparse.Namespace):
     from .obs import Recorder
 
     return Recorder()
+
+
+def _resolve_started_at(args: argparse.Namespace) -> str:
+    """Manifest timestamp: ``--started-at`` if given, else the clock.
+
+    The CLI is the designated edge where wall time may enter a
+    recording — everything below it is a pure function of the seed and
+    the config, which is what the determinism lint rule enforces.
+    """
+    explicit = getattr(args, "started_at", None)
+    if explicit is not None:
+        return explicit
+    import datetime
+
+    return datetime.datetime.now(  # repro: allow[det-wallclock] CLI edge: provenance stamp only; pin with --started-at
+        datetime.timezone.utc
+    ).isoformat()
 
 
 def _estimate_dict(estimate: Any) -> Dict[str, Any]:
@@ -121,6 +148,7 @@ def _finish(
             config=config or {},
             wall_time_s=wall_s,
             workers=getattr(args, "workers", None),
+            started_at=_resolve_started_at(args),
         )
         write_manifest(record_dir, manifest)
         count = write_events_jsonl(events_path(record_dir), recorder.events)
@@ -572,6 +600,43 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import all_rules, rule_ids, run_lint
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(r.rule_id) for r in rules)
+        text = "\n".join(
+            f"{r.rule_id.ljust(width)}  {r.rationale}" for r in rules
+        )
+        payload = {
+            "command": "lint",
+            "rules": [
+                {
+                    "id": r.rule_id,
+                    "family": r.family,
+                    "rationale": r.rationale,
+                }
+                for r in rules
+            ],
+        }
+        return _finish(args, payload, text)
+    try:
+        report = run_lint(args.paths, rule_ids=args.rule or None)
+    except KeyError as exc:
+        print(
+            f"error: no rule named {exc.args[0]!r}; known rules: "
+            + ", ".join(rule_ids()),
+            file=sys.stderr,
+        )
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _finish(args, report.to_payload(), report.render())
+    return report.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from .core.report import rebuild_experiments_md
 
@@ -729,6 +794,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_json(validate)
     validate.set_defaults(handler=_cmd_validate)
+
+    lint = sub.add_parser(
+        "lint",
+        help=(
+            "static analysis of the source tree: units, determinism, "
+            "RNG, pickle and exception discipline (exit 0 clean, "
+            "1 findings, 2 usage error)"
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--rule", action="append", metavar="ID",
+        help="run only this rule id (repeatable; see --list-rules)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule id with its one-line rationale and exit",
+    )
+    _add_json(lint)
+    lint.set_defaults(handler=_cmd_lint)
 
     report = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from benchmark results"

@@ -277,7 +277,7 @@ def run_benchmark(
 
     return {
         "meta": {
-            "date": _datetime.date.today().isoformat(),
+            "date": _datetime.date.today().isoformat(),  # repro: allow[det-wallclock] names the BENCH_<date>.json artifact; not simulated state
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "cpu_count": os.cpu_count(),

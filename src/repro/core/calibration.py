@@ -65,7 +65,7 @@ def paper_simulation_parameters() -> SimulationParameters:
     """Calibrated simulator knobs (see module docstring for procedure)."""
     return SimulationParameters(
         obstruction_cap_db=25.0,
-        k_penalty_per_obstruction_db=0.5,
+        k_penalty_per_obstruction=0.5,
         decode_slope_db=1.5,
         capture_probability=0.1,
         tdma_slot_s=0.10,

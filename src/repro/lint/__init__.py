@@ -1,0 +1,41 @@
+"""Domain-aware static analysis for the simulator's conventions.
+
+``python -m repro lint [PATHS]`` enforces, at the AST level, the
+conventions the runtime validation suite can only probe statistically:
+
+* **units** — dB/linear domain discipline (SI internally, dB at the
+  edges, conversions through ``rf/units.py``);
+* **determinism** — no wall clocks, global RNG, or fresh UUIDs in code
+  that feeds golden traces;
+* **rng-discipline** — raw generators constructed only in
+  ``sim/rng.py``;
+* **pickle-safety** — trial callables must survive the process-pool
+  hop;
+* **exception-hygiene** — no swallowed errors on phantom-miss paths.
+
+Findings can be silenced per line with
+``# repro: allow[rule-id] reason``; structural exemptions live in
+:data:`repro.lint.config.DEFAULT_CONFIG`. See ``docs/lint.md``.
+"""
+
+from .config import DEFAULT_CONFIG, LintConfig
+from .context import FileContext
+from .engine import analyze_source, iter_python_files, run_lint
+from .findings import Finding, LintReport
+from .registry import Rule, all_rules, rule, rule_ids, select_rules
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "LintConfig",
+    "FileContext",
+    "analyze_source",
+    "iter_python_files",
+    "run_lint",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "rule",
+    "rule_ids",
+    "select_rules",
+]

@@ -1,0 +1,80 @@
+"""Allowlist configuration: where each rule does and does not apply.
+
+Two per-rule mechanisms, both matching ``fnmatch`` patterns against the
+POSIX form of the file path:
+
+* ``allow_paths`` — files exempt from a rule. This is for *structural*
+  exemptions, the places a convention is implemented rather than
+  consumed: ``rf/units.py`` is where bare dB arithmetic lives,
+  ``sim/rng.py`` is the one module allowed to construct raw RNGs.
+* ``only_paths`` — rules that are scoped to a subset of the tree. The
+  exception-hygiene family only gates the supervision/fault/parallel
+  paths where a swallowed exception silently becomes a phantom missed
+  read.
+
+Point exemptions (one call on one line) should use an inline
+``# repro: allow[rule-id] reason`` suppression instead, so the reason
+travels with the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Dict, Tuple
+
+
+def _posix(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Path-level policy consulted by the engine before running a rule."""
+
+    #: Files skipped entirely (never parsed).
+    exclude: Tuple[str, ...] = ()
+    #: rule-id -> path patterns where the rule is switched off.
+    allow_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: rule-id -> path patterns the rule is restricted to (unset = all).
+    only_paths: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+
+    def is_excluded(self, path: str) -> bool:
+        posix = _posix(path)
+        return any(fnmatch(posix, pattern) for pattern in self.exclude)
+
+    def rule_applies(self, rule_id: str, path: str) -> bool:
+        """True when ``rule_id`` should run against ``path``."""
+        posix = _posix(path)
+        only = self.only_paths.get(rule_id)
+        if only is not None and not any(
+            fnmatch(posix, pattern) for pattern in only
+        ):
+            return False
+        allowed = self.allow_paths.get(rule_id, ())
+        return not any(fnmatch(posix, pattern) for pattern in allowed)
+
+
+#: Paths the exception-hygiene family gates: supervision, fault
+#: injection, and the process-pool harness, where a swallowed error
+#: turns into a silent phantom miss instead of a crash.
+EXCEPTION_SCOPE: Tuple[str, ...] = (
+    "*reader/supervisor.py",
+    "*faults/*",
+    "*core/parallel.py",
+)
+
+DEFAULT_CONFIG = LintConfig(
+    exclude=("*/__pycache__/*",),
+    allow_paths={
+        # The conversion helpers themselves are the one place bare
+        # 10**(x/10) / 10*log10(x) arithmetic is supposed to live.
+        "units-bare-conversion": ("*rf/units.py",),
+        # RandomStream wraps random.Random exactly once, here.
+        "rng-raw-stream": ("*sim/rng.py",),
+    },
+    only_paths={
+        "except-bare": EXCEPTION_SCOPE,
+        "except-swallow": EXCEPTION_SCOPE,
+    },
+)

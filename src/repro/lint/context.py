@@ -1,0 +1,166 @@
+"""Per-file analysis context shared by every rule.
+
+One :class:`FileContext` is built per source file: the parsed AST, the
+raw lines, the inline-suppression table, and an import-alias map that
+lets rules resolve a call like ``_datetime.datetime.now(...)`` to the
+canonical dotted name ``datetime.datetime.now`` regardless of how the
+module was imported.
+
+Suppression syntax (same line as the finding)::
+
+    risky_call()  # repro: allow[rule-id] why this one is fine
+
+The rule id must match exactly — a suppression silences one rule on one
+line, nothing more. A reason is expected (and enforced by review, not
+by the engine).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+#: ``# repro: allow[rule-id] optional reason`` — findall-friendly so one
+#: comment can carry several suppressions.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_-]+)\]")
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule ids suppressed there."""
+    table: Dict[int, Set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        ids = SUPPRESS_RE.findall(line)
+        if ids:
+            table[number] = set(ids)
+    return table
+
+
+def build_import_table(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> canonical dotted prefix, from the file's imports.
+
+    ``import datetime as _dt`` maps ``_dt`` to ``datetime``;
+    ``from random import random`` maps ``random`` to ``random.random``.
+    Only top-of-chain names are tracked — that is all call resolution
+    needs.
+    """
+    table: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                canonical = alias.name if alias.asname else local
+                table[local] = canonical
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                # Relative imports stay project-internal; rules target
+                # stdlib/numpy surfaces, so skip them.
+                continue
+            for alias in node.names:
+                local = alias.asname or alias.name
+                table[local] = f"{node.module}.{alias.name}"
+    return table
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to analyse one file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "FileContext":
+        """Parse ``source``; raises SyntaxError on unparsable input."""
+        tree = ast.parse(source, filename=path)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            suppressions=parse_suppressions(lines),
+            imports=build_import_table(tree),
+        )
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.suppressions.get(line, set())
+
+    def dotted_name(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of a Name/Attribute chain, or None.
+
+        The chain's base name must be present in the file's import
+        table — an attribute chain hanging off a local object (for
+        example ``self._rng.random``) resolves to nothing, which is
+        what keeps method calls from false-positiving module-level
+        bans.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        canonical = self.imports.get(current.id)
+        if canonical is None:
+            return None
+        parts.append(canonical)
+        return ".".join(reversed(parts))
+
+    def call_name(self, call: ast.Call) -> Optional[str]:
+        """Canonical dotted name of a call's target, or None."""
+        return self.dotted_name(call.func)
+
+
+def nested_function_names(tree: ast.AST) -> Set[str]:
+    """Names of functions defined inside other functions.
+
+    Used by the pickle-safety rule: a Name argument that refers to one
+    of these cannot cross a process boundary.
+    """
+    nested: Set[str] = set()
+
+    class _Visitor(ast.NodeVisitor):
+        def __init__(self) -> None:
+            self.depth = 0
+
+        def _visit_fn(self, node: ast.AST, name: str) -> None:
+            if self.depth > 0:
+                nested.add(name)
+            self.depth += 1
+            self.generic_visit(node)
+            self.depth -= 1
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            self._visit_fn(node, node.name)
+
+        def visit_AsyncFunctionDef(
+            self, node: ast.AsyncFunctionDef
+        ) -> None:
+            self._visit_fn(node, node.name)
+
+        def visit_ClassDef(self, node: ast.ClassDef) -> None:
+            # Methods are module-reachable through their class; do not
+            # count the class body as function nesting.
+            self.generic_visit(node)
+
+    _Visitor().visit(tree)
+    return nested
+
+
+def constant_value(node: ast.AST) -> Optional[float]:
+    """Numeric value of a literal, unwrapping a unary minus."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = constant_value(node.operand)
+        return None if inner is None else -inner
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float)
+    ):
+        return float(node.value)
+    return None

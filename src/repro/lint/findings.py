@@ -1,0 +1,87 @@
+"""Finding and report types for the static-analysis pass.
+
+A :class:`Finding` is one rule violation pinned to a file and line; a
+:class:`LintReport` aggregates every finding from a run plus the file
+count, and owns the exit-code contract (0 clean, 1 findings) that the
+CLI and the CI job rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    return (finding.path, finding.line, finding.col, finding.rule_id)
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    def extend(self, findings: List[Finding]) -> None:
+        self.findings.extend(findings)
+
+    def finish(self) -> "LintReport":
+        """Put findings in (path, line, col, rule) order; returns self."""
+        self.findings.sort(key=sort_key)
+        return self
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "command": "lint",
+            "files_checked": self.files_checked,
+            "findings": [f.to_dict() for f in self.findings],
+            "finding_count": len(self.findings),
+            "suppressed": self.suppressed,
+            "ok": not self.findings,
+        }
+
+    def render(self) -> str:
+        """Human-readable view: one ``path:line:col rule message`` per
+        finding, then a one-line tally."""
+        lines = [
+            f"{f.location()}  {f.rule_id}  {f.message}" for f in self.findings
+        ]
+        verdict = "clean" if not self.findings else "FAILED"
+        lines.append(
+            f"lint: {len(self.findings)} finding(s) in "
+            f"{self.files_checked} file(s), {self.suppressed} suppressed "
+            f"— {verdict}"
+        )
+        return "\n".join(lines)

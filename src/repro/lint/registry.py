@@ -1,0 +1,90 @@
+"""The rule registry: every check self-registers at import time.
+
+A rule is a function ``(FileContext) -> Iterable[Finding]`` plus the
+metadata the CLI needs (id, family, one-line rationale). Registering by
+decorator keeps adding a rule to a one-file change::
+
+    @rule(
+        "my-rule",
+        family="units",
+        rationale="why the convention matters in one line",
+    )
+    def check_my_rule(ctx: FileContext) -> Iterator[Finding]:
+        ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from .context import FileContext
+from .findings import Finding
+
+RuleFn = Callable[[FileContext], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered check."""
+
+    rule_id: str
+    family: str
+    rationale: str
+    fn: RuleFn
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return self.fn(ctx)
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(rule_id: str, family: str, rationale: str) -> Callable[[RuleFn], RuleFn]:
+    """Decorator registering ``fn`` as the implementation of ``rule_id``."""
+
+    def decorator(fn: RuleFn) -> RuleFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id, family=family, rationale=rationale, fn=fn
+        )
+        return fn
+
+    return decorator
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package runs every @rule decorator.
+    from . import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in id order."""
+    _ensure_loaded()
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_ids() -> List[str]:
+    _ensure_loaded()
+    return sorted(_REGISTRY)
+
+
+def select_rules(ids: Optional[Sequence[str]]) -> List[Rule]:
+    """Rules for an ``--rule`` selection (None = all).
+
+    Raises
+    ------
+    KeyError
+        Carrying the first unknown id, so the CLI can report the valid
+        set and exit 2.
+    """
+    if ids is None:
+        return all_rules()
+    _ensure_loaded()
+    selected: List[Rule] = []
+    for rule_id in ids:
+        if rule_id not in _REGISTRY:
+            raise KeyError(rule_id)
+        selected.append(_REGISTRY[rule_id])
+    return selected

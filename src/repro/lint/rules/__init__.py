@@ -1,0 +1,14 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module is one rule family from the lint catalogue — see
+``docs/lint.md`` for the rationale behind each family and
+``repro.lint.registry.rule`` for how to add a new one.
+"""
+
+from . import (  # noqa: F401
+    determinism,
+    exception_hygiene,
+    pickle_safety,
+    rng_discipline,
+    units,
+)

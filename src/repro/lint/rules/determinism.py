@@ -1,0 +1,163 @@
+"""Determinism family: no wall clocks, global RNG, or fresh UUIDs.
+
+Golden-trace regression (``validate/golden.py``) pins experiment output
+bit-for-bit, and the parallel trial engine relies on every draw being a
+pure function of ``(root_seed, stream_name, trial_index)``. A single
+``time.time()`` or module-level ``random.random()`` call inside the
+simulation path silently breaks both. Provenance stamps at the CLI edge
+are legitimate — mark them with an inline
+``# repro: allow[det-wallclock] reason`` suppression.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import rule
+
+#: Wall-clock reads whose value leaks into output. Monotonic duration
+#: clocks (``time.perf_counter``, ``time.monotonic``) are fine: they
+#: feed timing metrics, never simulated outcomes.
+WALLCLOCK_BANNED = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.ctime",
+        "time.localtime",
+        "time.gmtime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level stdlib RNG entry points (shared hidden state).
+GLOBAL_RANDOM_BANNED = frozenset(
+    {
+        "random.random",
+        "random.seed",
+        "random.uniform",
+        "random.randint",
+        "random.randrange",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.choice",
+        "random.choices",
+        "random.sample",
+        "random.shuffle",
+        "random.getrandbits",
+    }
+)
+
+#: numpy.random names that are *not* module-level global state and are
+#: therefore the rng-discipline rule's business instead of this one's.
+_NUMPY_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+        "numpy.random.SeedSequence",
+    }
+)
+
+UUID_BANNED = frozenset({"uuid.uuid1", "uuid.uuid4"})
+
+
+def _call_finding(
+    ctx: FileContext, rule_id: str, node: ast.Call, message: str
+) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.path,
+        line=node.lineno,
+        col=node.col_offset,
+        message=message,
+    )
+
+
+def _resolved_calls(ctx: FileContext) -> Iterator[tuple]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            name = ctx.call_name(node)
+            if name is not None:
+                yield node, name
+
+
+@rule(
+    "det-wallclock",
+    family="determinism",
+    rationale=(
+        "wall-clock reads make output depend on when a run happened, "
+        "breaking bit-identical golden traces; inject timestamps from "
+        "the CLI edge instead"
+    ),
+)
+def check_wallclock(ctx: FileContext) -> Iterator[Finding]:
+    for node, name in _resolved_calls(ctx):
+        if name in WALLCLOCK_BANNED:
+            yield _call_finding(
+                ctx,
+                "det-wallclock",
+                node,
+                f"wall-clock call {name}(); thread an injectable "
+                f"timestamp (or suppress at a provenance-only edge)",
+            )
+
+
+@rule(
+    "det-global-random",
+    family="determinism",
+    rationale=(
+        "module-level random/np.random share hidden global state "
+        "across components, correlating 'independent' reader sessions "
+        "and breaking seed reproducibility"
+    ),
+)
+def check_global_random(ctx: FileContext) -> Iterator[Finding]:
+    for node, name in _resolved_calls(ctx):
+        if name in GLOBAL_RANDOM_BANNED:
+            yield _call_finding(
+                ctx,
+                "det-global-random",
+                node,
+                f"global RNG call {name}(); draw from a named "
+                f"repro.sim.rng.RandomStream instead",
+            )
+        elif (
+            name.startswith("numpy.random.")
+            and name not in _NUMPY_CONSTRUCTORS
+        ):
+            yield _call_finding(
+                ctx,
+                "det-global-random",
+                node,
+                f"module-level numpy RNG call {name}(); draw from a "
+                f"named repro.sim.rng.RandomStream instead",
+            )
+
+
+@rule(
+    "det-uuid",
+    family="determinism",
+    rationale=(
+        "uuid1/uuid4 derive from clock and entropy, so identifiers "
+        "differ run to run; derive ids from the seed (or uuid5 over "
+        "seeded content)"
+    ),
+)
+def check_uuid(ctx: FileContext) -> Iterator[Finding]:
+    for node, name in _resolved_calls(ctx):
+        if name in UUID_BANNED:
+            yield _call_finding(
+                ctx,
+                "det-uuid",
+                node,
+                f"nondeterministic id from {name}(); derive ids from "
+                f"the experiment seed",
+            )

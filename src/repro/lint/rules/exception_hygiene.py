@@ -1,0 +1,97 @@
+"""Exception-hygiene family: no silently swallowed errors on miss paths.
+
+Scoped (via the allowlist config) to ``reader/supervisor.py``,
+``faults/``, and ``core/parallel.py`` — the code that stands between a
+raised exception and a reported read. A bare ``except:`` or an
+``except Exception: pass`` there converts a real failure into a phantom
+missed read, which the miss-cause attribution then confidently labels
+with the wrong cause.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import rule
+
+_BROAD_TYPES = ("Exception", "BaseException")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    if isinstance(handler.type, ast.Name):
+        return handler.type.id in _BROAD_TYPES
+    return False
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing with the error."""
+    for stmt in handler.body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Continue):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(
+            stmt.value, ast.Constant
+        ):
+            # A docstring or bare ``...`` placeholder.
+            continue
+        return False
+    return True
+
+
+@rule(
+    "except-bare",
+    family="exception-hygiene",
+    rationale=(
+        "bare except: catches KeyboardInterrupt/SystemExit too and "
+        "hides the error type; on supervision paths this turns a crash "
+        "into a phantom missed read"
+    ),
+)
+def check_bare_except(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield Finding(
+                rule_id="except-bare",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "bare 'except:'; name the exception type (and "
+                    "record the failure instead of hiding it)"
+                ),
+            )
+
+
+@rule(
+    "except-swallow",
+    family="exception-hygiene",
+    rationale=(
+        "'except Exception: pass' on reader/fault/parallel paths "
+        "silently converts an error into a missed read with a bogus "
+        "miss cause; record or re-raise"
+    ),
+)
+def check_swallowed_except(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.ExceptHandler)
+            and _is_broad(node)
+            and _swallows(node)
+        ):
+            yield Finding(
+                rule_id="except-swallow",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    "broad exception handler swallows the error; a "
+                    "failure here must surface as a recorded fault, "
+                    "not a phantom miss"
+                ),
+            )

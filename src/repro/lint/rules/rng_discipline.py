@@ -1,0 +1,56 @@
+"""RNG-discipline family: raw generators are built in exactly one place.
+
+``sim/rng.py`` derives every stream from ``(root_seed, name)`` so that
+adding a new randomness consumer never shifts an existing stream's
+sequence. Constructing ``random.Random(...)`` or
+``np.random.default_rng(...)`` anywhere else creates a generator whose
+seeding is invisible to that scheme — use
+``SeedSequence.stream(name)`` / ``RandomStream.spawn(name)`` instead.
+The ``sim/rng.py`` exemption lives in the allowlist config, not inline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import rule
+
+RAW_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "random.SystemRandom",
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.RandomState",
+    }
+)
+
+
+@rule(
+    "rng-raw-stream",
+    family="rng-discipline",
+    rationale=(
+        "raw RNG construction outside sim/rng.py bypasses derive-by-"
+        "name seeding, so streams collide or shift when consumers are "
+        "added; go through RandomStream/SeedSequence"
+    ),
+)
+def check_raw_stream(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = ctx.call_name(node)
+        if name in RAW_CONSTRUCTORS:
+            yield Finding(
+                rule_id="rng-raw-stream",
+                path=ctx.path,
+                line=node.lineno,
+                col=node.col_offset,
+                message=(
+                    f"raw RNG constructed via {name}(); derive a "
+                    f"stream through repro.sim.rng instead"
+                ),
+            )

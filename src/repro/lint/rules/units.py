@@ -1,0 +1,273 @@
+"""Units family: dB and linear quantities must not mix silently.
+
+The simulator's convention (``rf/units.py``) is SI internally, dB at
+the edges, and every conversion routed through the helpers there. The
+checks infer a quantity's domain from the naming convention the
+codebase already follows — ``*_db`` / ``*_dbm`` / ``*_dbi`` are
+logarithmic, ``*_w`` / ``*_mw`` / ``*_hz`` / ``*_watts`` /
+``*_linear`` / ``*_ratio`` are linear — and flag arithmetic that is
+meaningless across domains:
+
+* dB x dB products (gains compose by *addition* in the log domain);
+* dB +/- linear sums (the classic "added dBm to watts" budget bug);
+* hand-rolled ``10 ** (x_db / 10)`` / ``10 * log10(x)`` conversions
+  outside ``rf/units.py``;
+* passing a dB-named value into a linear-named keyword parameter (or a
+  linear value into a ``rf/units.py`` converter that expects dB, and
+  vice versa).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import FileContext, constant_value
+from ..findings import Finding
+from ..registry import rule
+
+DB = "dB"
+LINEAR = "linear"
+
+_DB_SUFFIXES = ("_db", "_dbm", "_dbi")
+_DB_EXACT = ("db", "dbm", "dbi")
+_LINEAR_SUFFIXES = (
+    "_w",
+    "_mw",
+    "_watts",
+    "_milliwatts",
+    "_hz",
+    "_linear",
+    "_ratio",
+)
+_LINEAR_EXACT = ("watts", "milliwatts", "hz", "ratio")
+
+#: ``rf/units.py`` converters -> domain their first argument must have.
+_CONVERTER_ARG_DOMAIN = {
+    "db_to_linear": DB,
+    "dbm_to_watts": DB,
+    "dbm_to_milliwatts": DB,
+    "linear_to_db": LINEAR,
+    "watts_to_dbm": LINEAR,
+    "milliwatts_to_dbm": LINEAR,
+}
+
+
+def name_domain(identifier: str) -> Optional[str]:
+    """Domain implied by an identifier's suffix, or None."""
+    lowered = identifier.lower()
+    if lowered.endswith(_DB_SUFFIXES) or lowered in _DB_EXACT:
+        return DB
+    if lowered.endswith(_LINEAR_SUFFIXES) or lowered in _LINEAR_EXACT:
+        return LINEAR
+    return None
+
+
+def expr_domain(node: ast.AST) -> Optional[str]:
+    """Domain of an expression, from the names it is built around.
+
+    Shallow on purpose: a Name or Attribute carries its own suffix, a
+    call carries its function's suffix (``friis_path_gain_db(...)`` is
+    a dB quantity), and a unary minus is transparent. Anything more
+    composite returns None — the rules only fire on unambiguous
+    evidence.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return expr_domain(node.operand)
+    if isinstance(node, ast.Name):
+        return name_domain(node.id)
+    if isinstance(node, ast.Attribute):
+        return name_domain(node.attr)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            return name_domain(func.id)
+        if isinstance(func, ast.Attribute):
+            return name_domain(func.attr)
+    return None
+
+
+def _contains_db_name(node: ast.AST) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and name_domain(child.id) == DB:
+            return True
+        if isinstance(child, ast.Attribute) and name_domain(child.attr) == DB:
+            return True
+    return False
+
+
+def _finding(ctx: FileContext, rule_id: str, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        rule_id=rule_id,
+        path=ctx.path,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _describe(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)  # py>=3.9
+    except Exception:
+        return "<expression>"
+
+
+@rule(
+    "units-db-product",
+    family="units",
+    rationale=(
+        "dB quantities compose by addition; a dB x dB product is a "
+        "domain error that silently corrupts the link budget"
+    ),
+)
+def check_db_product(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+            continue
+        if expr_domain(node.left) == DB and expr_domain(node.right) == DB:
+            yield _finding(
+                ctx,
+                "units-db-product",
+                node,
+                f"product of two dB quantities: {_describe(node)} "
+                f"(gains add in the log domain)",
+            )
+
+
+@rule(
+    "units-mixed-sum",
+    family="units",
+    rationale=(
+        "adding a dB value to a linear (watts/Hz/ratio) value mixes "
+        "incompatible domains; convert via rf/units.py first"
+    ),
+)
+def check_mixed_sum(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not (
+            isinstance(node, ast.BinOp)
+            and isinstance(node.op, (ast.Add, ast.Sub))
+        ):
+            continue
+        domains = {expr_domain(node.left), expr_domain(node.right)}
+        if DB in domains and LINEAR in domains:
+            yield _finding(
+                ctx,
+                "units-mixed-sum",
+                node,
+                f"dB and linear quantities mixed in a sum: "
+                f"{_describe(node)}",
+            )
+
+
+def _is_log10_call(ctx: FileContext, node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = ctx.call_name(node)
+    if name in ("math.log10", "numpy.log10"):
+        return True
+    return isinstance(node.func, ast.Name) and node.func.id == "log10"
+
+
+@rule(
+    "units-bare-conversion",
+    family="units",
+    rationale=(
+        "hand-rolled 10**(x/10) / 10*log10(x) conversions drift from "
+        "the rounding conventions in rf/units.py; route through its "
+        "helpers"
+    ),
+)
+def check_bare_conversion(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.BinOp):
+            continue
+        # 10 ** (x_db / 10): dB -> linear by hand.
+        if isinstance(node.op, ast.Pow):
+            base = constant_value(node.left)
+            exponent = node.right
+            if (
+                base == 10.0
+                and isinstance(exponent, ast.BinOp)
+                and isinstance(exponent.op, ast.Div)
+                and constant_value(exponent.right) in (10.0, 20.0)
+                and _contains_db_name(exponent.left)
+            ):
+                yield _finding(
+                    ctx,
+                    "units-bare-conversion",
+                    node,
+                    f"manual dB->linear conversion {_describe(node)}; "
+                    f"use repro.rf.units.db_to_linear (or dbm_to_watts)",
+                )
+        # 10 * log10(x) / 20 * log10(x): linear -> dB by hand.
+        elif isinstance(node.op, ast.Mult):
+            for coeff, call in (
+                (node.left, node.right),
+                (node.right, node.left),
+            ):
+                if abs(constant_value(coeff) or 0.0) in (
+                    10.0,
+                    20.0,
+                ) and _is_log10_call(ctx, call):
+                    yield _finding(
+                        ctx,
+                        "units-bare-conversion",
+                        node,
+                        f"manual linear->dB conversion {_describe(node)}; "
+                        f"use repro.rf.units.linear_to_db (or "
+                        f"watts_to_dbm)",
+                    )
+                    break
+
+
+@rule(
+    "units-domain-arg",
+    family="units",
+    rationale=(
+        "a dB-named value flowing into a linear-named parameter (or "
+        "the wrong domain into an rf/units.py converter) is a unit bug "
+        "at the call boundary"
+    ),
+)
+def check_domain_arg(ctx: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        # Keyword arguments: parameter name vs argument expression.
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            wanted = name_domain(keyword.arg)
+            got = expr_domain(keyword.value)
+            if wanted and got and wanted != got:
+                yield _finding(
+                    ctx,
+                    "units-domain-arg",
+                    keyword.value,
+                    f"{got} quantity {_describe(keyword.value)} passed "
+                    f"to {wanted} parameter {keyword.arg!r}",
+                )
+        # Known converters: first positional argument's domain.
+        func = node.func
+        func_name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr
+            if isinstance(func, ast.Attribute)
+            else None
+        )
+        wanted = _CONVERTER_ARG_DOMAIN.get(func_name or "")
+        if wanted and node.args:
+            got = expr_domain(node.args[0])
+            if got and got != wanted:
+                yield _finding(
+                    ctx,
+                    "units-domain-arg",
+                    node.args[0],
+                    f"{got} quantity {_describe(node.args[0])} passed "
+                    f"to {func_name}(), which expects a {wanted} value",
+                )

@@ -60,9 +60,20 @@ class RunManifest:
         workers: Optional[int] = None,
         started_at: Optional[str] = None,
     ) -> "RunManifest":
-        """Build a manifest, stamping version/platform and the hash."""
+        """Build a manifest, stamping version/platform and the hash.
+
+        ``started_at`` is injectable so a recorded run is a pure
+        function of its inputs: the CLI threads a stamp down from
+        ``--started-at`` (or reads the clock once, at that edge). The
+        fallback below exists only for direct library callers that do
+        not care about byte-reproducible manifests.
+        """
         from .. import __version__
 
+        if started_at is None:
+            started_at = _datetime.datetime.now(  # repro: allow[det-wallclock] library fallback; the CLI injects the stamp
+                _datetime.timezone.utc
+            ).isoformat()
         return cls(
             command=command,
             seed=seed,
@@ -71,11 +82,7 @@ class RunManifest:
             version=__version__,
             python=sys.version.split()[0],
             platform=_platform.platform(),
-            started_at=(
-                started_at
-                if started_at is not None
-                else _datetime.datetime.now(_datetime.timezone.utc).isoformat()
-            ),
+            started_at=started_at,
             wall_time_s=wall_time_s,
             workers=workers,
         )

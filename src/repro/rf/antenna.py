@@ -22,6 +22,7 @@ import math
 from dataclasses import dataclass
 
 from .geometry import Vec3
+from .units import db_to_linear, linear_to_db
 
 #: Fixed loss when a circularly polarized reader antenna illuminates a
 #: linearly polarized tag, regardless of the tag's roll angle.
@@ -59,7 +60,7 @@ class PatchAntenna:
         if angle >= math.pi / 2.0:
             return self.boresight_gain_dbi + NULL_FLOOR_DB
         pattern = math.cos(angle) ** self.rolloff_exponent
-        pattern_db = 10.0 * math.log10(max(pattern, 10.0 ** (NULL_FLOOR_DB / 10.0)))
+        pattern_db = linear_to_db(max(pattern, db_to_linear(NULL_FLOOR_DB)))
         return self.boresight_gain_dbi + pattern_db
 
 
@@ -82,8 +83,8 @@ class DipoleAntenna:
             return self.broadside_gain_dbi + NULL_FLOOR_DB
         pattern = math.cos((math.pi / 2.0) * math.cos(theta)) / sin_theta
         power = pattern * pattern
-        floor = 10.0 ** (NULL_FLOOR_DB / 10.0)
-        pattern_db = 10.0 * math.log10(max(power, floor))
+        floor = db_to_linear(NULL_FLOOR_DB)
+        pattern_db = linear_to_db(max(power, floor))
         return self.broadside_gain_dbi + pattern_db
 
 
@@ -124,5 +125,5 @@ def polarization_loss_db(
         return -NULL_FLOOR_DB
     angle = tag_t.angle_to(reader_t)
     cos2 = math.cos(angle) ** 2
-    floor = 10.0 ** (NULL_FLOOR_DB / 10.0)
-    return -10.0 * math.log10(max(cos2, floor))
+    floor = db_to_linear(NULL_FLOOR_DB)
+    return -linear_to_db(max(cos2, floor))

@@ -17,8 +17,9 @@ at -75 dBm.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+
+from .units import watts_to_dbm
 
 #: Boltzmann constant (J/K).
 BOLTZMANN_J_PER_K = 1.380649e-23
@@ -39,7 +40,7 @@ def thermal_noise_dbm(bandwidth_hz: float, temperature_k: float = REFERENCE_TEMP
             f"temperature must be positive, got {temperature_k!r}"
         )
     watts = BOLTZMANN_J_PER_K * temperature_k * bandwidth_hz
-    return 10.0 * math.log10(watts) + 30.0
+    return watts_to_dbm(watts)
 
 
 @dataclass(frozen=True)

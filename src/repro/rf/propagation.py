@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from .units import UHF_RFID_FREQ_HZ, linear_to_db, wavelength
+from .units import UHF_RFID_FREQ_HZ, db_to_linear, linear_to_db, wavelength
 from ..sim.rng import RandomStream
 
 
@@ -181,7 +181,7 @@ class RicianFading:
         and ``s`` a complex Gaussian scatter term; the power gain is the
         squared envelope normalised so its expectation is 1.
         """
-        k = 10.0 ** (self.k_factor_db / 10.0)
+        k = db_to_linear(self.k_factor_db)
         # LOS amplitude and scatter variance for unit mean power.
         los = math.sqrt(k / (k + 1.0))
         sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
@@ -200,7 +200,7 @@ class RicianFading:
         penalty. Yields exactly the value ``sample_power_gain`` would
         have produced from the same stream.
         """
-        k = 10.0 ** (self.k_factor_db / 10.0)
+        k = db_to_linear(self.k_factor_db)
         los = math.sqrt(k / (k + 1.0))
         sigma = math.sqrt(1.0 / (2.0 * (k + 1.0)))
         re = los + z1 * sigma

@@ -209,9 +209,10 @@ class SimulationParameters:
     #: Cap on total through-material loss: energy diffracts around
     #: obstacles, so even a router stack is not a perfect screen.
     obstruction_cap_db: float = 25.0
-    #: Rician K-factor penalty (dB) per dB of obstruction loss: blocked
-    #: paths lose their line-of-sight component and fade harder.
-    k_penalty_per_obstruction_db: float = 0.5
+    #: Rician K-factor penalty per dB of obstruction loss (a
+    #: dimensionless dB/dB ratio): blocked paths lose their
+    #: line-of-sight component and fade harder.
+    k_penalty_per_obstruction: float = 0.5
     #: Logistic slope (dB) mapping reverse-link margin to decode
     #: probability; models coding/BER softness around the threshold.
     decode_slope_db: float = 1.5
@@ -507,7 +508,7 @@ class PortalPassSimulator:
                 )
             return None
         obstructed_k_penalty = (
-            obstruction_db * self.params.k_penalty_per_obstruction_db
+            obstruction_db * self.params.k_penalty_per_obstruction
         )
         cell = self.params.fading_coherence_m
         bin_key = (
@@ -958,7 +959,7 @@ class PortalPassSimulator:
                     carriers, antenna.position, tag_pos, t
                 )
                 obstructed_k_penalty = (
-                    obstruction_db * self.params.k_penalty_per_obstruction_db
+                    obstruction_db * self.params.k_penalty_per_obstruction
                 )
                 cell = self.params.fading_coherence_m
                 bin_key = (

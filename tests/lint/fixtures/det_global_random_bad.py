@@ -1,0 +1,17 @@
+"""Fixture: module-level RNG calls share hidden global state."""
+
+import random
+
+import numpy as np
+
+
+def draw() -> float:
+    return random.random()  # expect[det-global-random]
+
+
+def reseed() -> None:
+    random.seed(0)  # expect[det-global-random]
+
+
+def draw_np() -> float:
+    return np.random.normal()  # expect[det-global-random]

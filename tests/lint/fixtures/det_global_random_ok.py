@@ -1,0 +1,7 @@
+"""Fixture: draws come from a named, seed-derived stream."""
+
+from repro.sim.rng import RandomStream
+
+
+def draw(stream: RandomStream) -> float:
+    return stream.random()

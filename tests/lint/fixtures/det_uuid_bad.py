@@ -1,0 +1,7 @@
+"""Fixture: uuid4 ids differ on every run."""
+
+import uuid
+
+
+def fresh_id() -> str:
+    return str(uuid.uuid4())  # expect[det-uuid]

@@ -1,0 +1,7 @@
+"""Fixture: ids derived deterministically from seeded content."""
+
+import uuid
+
+
+def derived_id(seed_text: str) -> str:
+    return str(uuid.uuid5(uuid.NAMESPACE_URL, seed_text))

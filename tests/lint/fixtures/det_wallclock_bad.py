@@ -1,0 +1,12 @@
+"""Fixture: wall-clock reads leak run time into output."""
+
+import datetime
+import time
+
+
+def stamp() -> float:
+    return time.time()  # expect[det-wallclock]
+
+
+def stamp_iso() -> str:
+    return datetime.datetime.now().isoformat()  # expect[det-wallclock]

@@ -1,0 +1,13 @@
+"""Fixture: monotonic duration clocks are fine; stamps are injected."""
+
+import time
+
+
+def timed(fn):
+    began = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - began
+
+
+def stamp(started_at: str) -> str:
+    return started_at

@@ -1,0 +1,8 @@
+"""Fixture: the exception type is named and the failure surfaces."""
+
+
+def poll(device):
+    try:
+        return device.read()
+    except OSError as exc:
+        raise RuntimeError(f"device read failed: {exc}") from exc

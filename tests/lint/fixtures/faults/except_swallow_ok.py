@@ -1,0 +1,9 @@
+"""Fixture: the broad handler records the failure before degrading."""
+
+
+def poll(device, record):
+    try:
+        return device.read()
+    except Exception as exc:
+        record(exc)
+        return None

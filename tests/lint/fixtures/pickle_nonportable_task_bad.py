@@ -1,0 +1,15 @@
+"""Fixture: closures handed to the parallel trial harness."""
+
+from repro.core.experiment import run_trials
+
+
+def experiment(simulator, reps: int, seed: int):
+    def trial(seeds, i):
+        return simulator.run_pass([], seeds, i)
+
+    run_trials("closure", trial, reps, seed=seed)  # expect[pickle-nonportable-task]
+    run_trials("lambda", lambda seeds, i: i, reps, seed=seed)  # expect[pickle-nonportable-task]
+
+
+def fan_out(pool):
+    return pool.submit(lambda: 1)  # expect[pickle-nonportable-task]

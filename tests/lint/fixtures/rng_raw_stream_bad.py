@@ -1,0 +1,7 @@
+"""Fixture: raw RNG construction outside sim/rng.py."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)  # expect[rng-raw-stream]

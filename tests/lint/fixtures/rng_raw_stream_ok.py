@@ -1,0 +1,7 @@
+"""Fixture: streams derived by name from the experiment seed."""
+
+from repro.sim.rng import SeedSequence
+
+
+def make_stream(seed: int):
+    return SeedSequence(seed).stream("fading")

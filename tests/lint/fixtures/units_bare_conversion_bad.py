@@ -1,0 +1,11 @@
+"""Fixture: hand-rolled dB conversions outside rf/units.py."""
+
+import math
+
+
+def to_linear(level_db: float) -> float:
+    return 10.0 ** (level_db / 10.0)  # expect[units-bare-conversion]
+
+
+def to_db(ratio: float) -> float:
+    return 10.0 * math.log10(ratio)  # expect[units-bare-conversion]

@@ -1,0 +1,11 @@
+"""Fixture: conversions routed through the rf/units.py helpers."""
+
+from repro.rf.units import db_to_linear, linear_to_db
+
+
+def to_linear(level_db: float) -> float:
+    return db_to_linear(level_db)
+
+
+def to_db(ratio: float) -> float:
+    return linear_to_db(ratio)

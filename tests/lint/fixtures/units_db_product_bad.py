@@ -1,0 +1,5 @@
+"""Fixture: multiplying two dB quantities is a domain error."""
+
+
+def combine(gain_db: float, loss_db: float) -> float:
+    return gain_db * loss_db  # expect[units-db-product]

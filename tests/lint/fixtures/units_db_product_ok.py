@@ -1,0 +1,5 @@
+"""Fixture: dB quantities compose by addition."""
+
+
+def combine(gain_db: float, loss_db: float) -> float:
+    return gain_db + loss_db

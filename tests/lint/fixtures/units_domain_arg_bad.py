@@ -1,0 +1,11 @@
+"""Fixture: dB-named values flowing into linear-named parameters."""
+
+from repro.rf.units import dbm_to_watts
+
+
+def configure(radio, level_dbm: float) -> None:
+    radio.set_power(power_w=level_dbm)  # expect[units-domain-arg]
+
+
+def convert(power_w: float) -> float:
+    return dbm_to_watts(power_w)  # expect[units-domain-arg]

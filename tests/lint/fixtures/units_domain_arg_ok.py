@@ -1,0 +1,11 @@
+"""Fixture: argument domains match parameter domains."""
+
+from repro.rf.units import dbm_to_watts
+
+
+def configure(radio, level_w: float) -> None:
+    radio.set_power(power_w=level_w)
+
+
+def convert(level_dbm: float) -> float:
+    return dbm_to_watts(level_dbm)

@@ -1,0 +1,5 @@
+"""Fixture: adding a dB margin to a watts power mixes domains."""
+
+
+def budget(power_w: float, margin_db: float) -> float:
+    return power_w + margin_db  # expect[units-mixed-sum]

@@ -1,0 +1,7 @@
+"""Fixture: convert to a common domain before summing."""
+
+from repro.rf.units import watts_to_dbm
+
+
+def budget(power_w: float, margin_db: float) -> float:
+    return watts_to_dbm(power_w) + margin_db

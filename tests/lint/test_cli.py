@@ -1,0 +1,87 @@
+"""CLI contract of ``python -m repro lint``: exit codes, --list-rules,
+--rule validation, --json parity, and the --started-at manifest hook."""
+
+import json
+from pathlib import Path
+
+from repro.cli import _resolve_started_at, build_parser, main
+from repro.lint.registry import rule_ids
+from repro.obs.manifest import RunManifest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = str(FIXTURES / "det_wallclock_bad.py")
+OK = str(FIXTURES / "det_wallclock_ok.py")
+
+
+def test_exit_zero_on_clean_and_one_on_findings(capsys):
+    assert main(["lint", OK]) == 0
+    assert "clean" in capsys.readouterr().out
+    assert main(["lint", BAD]) == 1
+    out = capsys.readouterr().out
+    assert "det-wallclock" in out
+    assert "FAILED" in out
+
+
+def test_list_rules_prints_every_id_with_rationale(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_list_rules_json(capsys):
+    assert main(["lint", "--list-rules", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert [r["id"] for r in doc["rules"]] == rule_ids()
+    assert all(r["rationale"] for r in doc["rules"])
+
+
+def test_unknown_rule_exits_2_with_valid_ids(capsys):
+    assert main(["lint", "--rule", "no-such-rule", OK]) == 2
+    err = capsys.readouterr().err
+    assert "no rule named 'no-such-rule'" in err
+    for rule_id in rule_ids():
+        assert rule_id in err
+
+
+def test_rule_filter_restricts_run(capsys):
+    assert main(["lint", "--rule", "det-uuid", BAD]) == 0
+    assert main(["lint", "--rule", "det-wallclock", BAD]) == 1
+
+
+def test_json_payload_matches_text_verdict(capsys):
+    assert main(["lint", BAD, "--json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["command"] == "lint"
+    assert doc["ok"] is False
+    assert {f["rule"] for f in doc["findings"]} == {"det-wallclock"}
+    assert all(f["path"] == BAD for f in doc["findings"])
+
+
+def test_missing_path_exits_2(capsys):
+    assert main(["lint", "definitely/not/here"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_started_at_is_injectable_from_the_cli():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["table1", "--started-at", "2026-01-02T03:04:05+00:00"]
+    )
+    assert _resolve_started_at(args) == "2026-01-02T03:04:05+00:00"
+    manifest = RunManifest.create(
+        command="table1",
+        seed=1,
+        config={},
+        wall_time_s=0.0,
+        started_at=_resolve_started_at(args),
+    )
+    assert manifest.started_at == "2026-01-02T03:04:05+00:00"
+
+
+def test_started_at_defaults_to_a_clock_reading():
+    parser = build_parser()
+    args = parser.parse_args(["table1"])
+    stamp = _resolve_started_at(args)
+    # ISO-8601 with an explicit UTC offset.
+    assert "T" in stamp and stamp.endswith("+00:00")

@@ -1,0 +1,152 @@
+"""Engine behaviour: suppressions, rule selection, scoping, parsing."""
+
+import pytest
+
+from repro.lint import DEFAULT_CONFIG, analyze_source, run_lint
+from repro.lint.registry import select_rules
+
+WALLCLOCK_TWICE = """import time
+
+
+def stamp():
+    return time.time()  # repro: allow[det-wallclock] test edge stamp
+
+
+def stamp_again():
+    return time.time()
+"""
+
+
+def test_suppression_silences_named_rule_on_named_line():
+    report = analyze_source("clock.py", WALLCLOCK_TWICE)
+    assert report.suppressed == 1
+    assert [f.line for f in report.findings] == [9]
+    assert [f.rule_id for f in report.findings] == ["det-wallclock"]
+
+
+def test_suppression_for_a_different_rule_does_not_silence():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()  # repro: allow[det-uuid] wrong id\n"
+    )
+    report = analyze_source("clock.py", source)
+    assert report.suppressed == 0
+    assert [f.rule_id for f in report.findings] == ["det-wallclock"]
+
+
+def test_suppression_on_another_line_does_not_silence():
+    source = (
+        "import time\n"
+        "\n"
+        "# repro: allow[det-wallclock] comment on the wrong line\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time()\n"
+    )
+    report = analyze_source("clock.py", source)
+    assert report.suppressed == 0
+    assert [f.rule_id for f in report.findings] == ["det-wallclock"]
+
+
+def test_rule_selection_restricts_findings():
+    source = (
+        "import time\n"
+        "import uuid\n"
+        "\n"
+        "\n"
+        "def both():\n"
+        "    return time.time(), uuid.uuid4()\n"
+    )
+    everything = analyze_source("both.py", source)
+    assert {f.rule_id for f in everything.findings} == {
+        "det-wallclock",
+        "det-uuid",
+    }
+    only_uuid = analyze_source("both.py", source, rule_ids=["det-uuid"])
+    assert {f.rule_id for f in only_uuid.findings} == {"det-uuid"}
+
+
+def test_unknown_rule_id_raises_keyerror():
+    with pytest.raises(KeyError) as excinfo:
+        select_rules(["no-such-rule"])
+    assert excinfo.value.args[0] == "no-such-rule"
+
+
+def test_missing_path_raises():
+    with pytest.raises(FileNotFoundError):
+        run_lint(["definitely/not/a/path.py"])
+
+
+def test_parse_error_is_a_finding_not_a_crash():
+    report = analyze_source("broken.py", "def f(:\n")
+    assert [f.rule_id for f in report.findings] == ["parse-error"]
+    assert report.exit_code == 1
+
+
+SWALLOW = """def poll(device):
+    try:
+        return device.read()
+    except Exception:
+        pass
+"""
+
+
+def test_exception_rules_scoped_to_supervision_paths():
+    in_scope = analyze_source("src/repro/faults/snippet.py", SWALLOW)
+    assert {f.rule_id for f in in_scope.findings} == {"except-swallow"}
+    supervisor = analyze_source("src/repro/reader/supervisor.py", SWALLOW)
+    assert {f.rule_id for f in supervisor.findings} == {"except-swallow"}
+    out_of_scope = analyze_source("src/repro/analysis/snippet.py", SWALLOW)
+    assert out_of_scope.findings == []
+
+
+RAW_RNG = """import random
+
+
+def make(seed):
+    return random.Random(seed)
+"""
+
+
+def test_rng_rule_allowlists_sim_rng_module():
+    elsewhere = analyze_source("src/repro/world/snippet.py", RAW_RNG)
+    assert {f.rule_id for f in elsewhere.findings} == {"rng-raw-stream"}
+    home = analyze_source("src/repro/sim/rng.py", RAW_RNG)
+    assert home.findings == []
+
+
+def test_units_conversion_allowlisted_in_units_module():
+    source = (
+        "def db_to_linear(db):\n"
+        "    return 10.0 ** (db / 10.0)\n"
+    )
+    home = analyze_source("src/repro/rf/units.py", source)
+    assert home.findings == []
+    elsewhere = analyze_source("src/repro/rf/custom.py", source)
+    assert {f.rule_id for f in elsewhere.findings} == {
+        "units-bare-conversion"
+    }
+
+
+def test_report_payload_shape():
+    report = analyze_source("clock.py", WALLCLOCK_TWICE)
+    payload = report.to_payload()
+    assert payload["command"] == "lint"
+    assert payload["finding_count"] == 1
+    assert payload["suppressed"] == 1
+    assert payload["ok"] is False
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "det-wallclock"
+    assert finding["path"] == "clock.py"
+    assert finding["line"] == 9
+    assert "lint:" in report.render()
+
+
+def test_default_config_exposes_policy():
+    assert DEFAULT_CONFIG.rule_applies("det-wallclock", "src/repro/x.py")
+    assert not DEFAULT_CONFIG.rule_applies(
+        "rng-raw-stream", "src/repro/sim/rng.py"
+    )

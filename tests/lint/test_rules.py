@@ -1,0 +1,94 @@
+"""Fixture-corpus tests: every rule id has a triggering and a clean
+snippet, and findings carry correct file/line/rule-id attribution.
+
+Offending lines in the ``_bad`` fixtures are marked with an
+``# expect[rule-id]`` comment; each test asserts the rule fires on
+exactly that set of lines and nowhere else.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint import run_lint
+from repro.lint.registry import rule_ids
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+EXPECT_RE = re.compile(r"#\s*expect\[([a-z0-9-]+)\]")
+
+#: rule id -> (triggering fixture, clean fixture), both under FIXTURES.
+CASES = {
+    "units-db-product": (
+        "units_db_product_bad.py",
+        "units_db_product_ok.py",
+    ),
+    "units-mixed-sum": (
+        "units_mixed_sum_bad.py",
+        "units_mixed_sum_ok.py",
+    ),
+    "units-bare-conversion": (
+        "units_bare_conversion_bad.py",
+        "units_bare_conversion_ok.py",
+    ),
+    "units-domain-arg": (
+        "units_domain_arg_bad.py",
+        "units_domain_arg_ok.py",
+    ),
+    "det-wallclock": ("det_wallclock_bad.py", "det_wallclock_ok.py"),
+    "det-global-random": (
+        "det_global_random_bad.py",
+        "det_global_random_ok.py",
+    ),
+    "det-uuid": ("det_uuid_bad.py", "det_uuid_ok.py"),
+    "rng-raw-stream": ("rng_raw_stream_bad.py", "rng_raw_stream_ok.py"),
+    "pickle-nonportable-task": (
+        "pickle_nonportable_task_bad.py",
+        "pickle_nonportable_task_ok.py",
+    ),
+    "except-bare": (
+        "faults/except_bare_bad.py",
+        "faults/except_bare_ok.py",
+    ),
+    "except-swallow": (
+        "faults/except_swallow_bad.py",
+        "faults/except_swallow_ok.py",
+    ),
+}
+
+
+def test_corpus_covers_every_registered_rule():
+    assert sorted(CASES) == rule_ids()
+
+
+def _expected_lines(source: str, rule_id: str):
+    return {
+        number
+        for number, line in enumerate(source.splitlines(), start=1)
+        for match in EXPECT_RE.findall(line)
+        if match == rule_id
+    }
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_rule_fires_with_correct_attribution(rule_id):
+    fixture = FIXTURES / CASES[rule_id][0]
+    source = fixture.read_text(encoding="utf-8")
+    expected = _expected_lines(source, rule_id)
+    assert expected, f"fixture {fixture.name} has no expect[] markers"
+
+    report = run_lint([str(fixture)])
+    assert report.exit_code == 1
+    assert {f.rule_id for f in report.findings} == {rule_id}
+    assert {f.line for f in report.findings} == expected
+    for finding in report.findings:
+        assert finding.path == str(fixture)
+
+
+@pytest.mark.parametrize("rule_id", sorted(CASES))
+def test_clean_fixture_produces_no_findings(rule_id):
+    fixture = FIXTURES / CASES[rule_id][1]
+    report = run_lint([str(fixture)])
+    assert report.findings == []
+    assert report.exit_code == 0

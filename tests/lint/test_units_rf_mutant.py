@@ -1,0 +1,57 @@
+"""The units rule against the real RF modules.
+
+Two guarantees: the shipped ``rf/link.py`` and ``rf/propagation.py``
+are clean under the units family, and a synthesized mutant that adds a
+dBm quantity to a watts quantity in each file is caught with exact
+file/line/rule-id attribution.
+"""
+
+from pathlib import Path
+
+import pytest
+
+import repro.rf.link
+import repro.rf.propagation
+from repro.lint import analyze_source
+
+UNITS_RULES = (
+    "units-db-product",
+    "units-mixed-sum",
+    "units-bare-conversion",
+    "units-domain-arg",
+)
+
+MODULES = {
+    "src/repro/rf/link.py": Path(repro.rf.link.__file__),
+    "src/repro/rf/propagation.py": Path(repro.rf.propagation.__file__),
+}
+
+MUTANT = (
+    "\n"
+    "\n"
+    "def _mutant_total_power(noise_w: float, tx_power_dbm: float) -> float:\n"
+    "    return noise_w + tx_power_dbm\n"
+)
+
+
+@pytest.mark.parametrize("virtual_path", sorted(MODULES))
+def test_shipped_module_is_units_clean(virtual_path):
+    source = MODULES[virtual_path].read_text(encoding="utf-8")
+    report = analyze_source(virtual_path, source, rule_ids=UNITS_RULES)
+    assert report.findings == [], "\n" + report.render()
+
+
+@pytest.mark.parametrize("virtual_path", sorted(MODULES))
+def test_dbm_plus_watts_mutant_is_caught(virtual_path):
+    source = MODULES[virtual_path].read_text(encoding="utf-8")
+    mutated = source + MUTANT
+    # The offending sum lands on the mutant's final line.
+    expected_line = len(mutated.splitlines())
+
+    report = analyze_source(virtual_path, mutated, rule_ids=UNITS_RULES)
+    assert report.exit_code == 1
+    (finding,) = report.findings
+    assert finding.rule_id == "units-mixed-sum"
+    assert finding.path == virtual_path
+    assert finding.line == expected_line
+    assert "noise_w + tx_power_dbm" in finding.message
